@@ -1,0 +1,46 @@
+// Command atlasdns runs the RIPE Atlas-style DNS campaigns (§3, §4.1):
+// A-record validation against the ECS scan, AAAA enumeration of the IPv6
+// ingress fleet, resolver identification, and the service-blocking study.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/relay-networks/privaterelay/internal/dnswire"
+	"github.com/relay-networks/privaterelay/internal/experiments"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "world seed")
+		scale    = flag.Float64("scale", 0.002, "client-universe scale")
+		probes   = flag.Int("probes", 11700, "number of Atlas probes")
+		clusters = flag.Int("clusters", 1500, "distinct probe /24s")
+	)
+	flag.Parse()
+
+	env := experiments.NewEnv(*seed, *scale)
+	res, err := env.Atlas(context.Background(), *probes, *clusters)
+	if err != nil {
+		log.Fatalf("atlas: %v", err)
+	}
+
+	fmt.Printf("probes: %d, behind public resolvers: %d‰\n", res.Probes, res.PublicResolvers)
+	fmt.Printf("A validation: %d distinct IPv4 ingress addresses\n", res.V4Found)
+	fmt.Printf("  vs ECS scan: %d extra (fleet churn), %d missing (probe clustering)\n",
+		res.V4ExtraVsECS, res.V4MissingVsECS)
+	fmt.Printf("AAAA enumeration: %d distinct IPv6 ingress addresses (direct queries added %d)\n",
+		res.V6Found, res.V6DirectAdded)
+	fmt.Printf("blocking study: %s\n", res.Blocking)
+	fmt.Printf("  timeout %.1f%% (not counted as blocking)\n", res.Blocking.TimeoutShare())
+	for _, rc := range []dnswire.RCode{dnswire.RCodeNXDomain, dnswire.RCodeNoError, dnswire.RCodeRefused, dnswire.RCodeServFail, dnswire.RCodeFormErr} {
+		if n := res.Blocking.ByRCode[rc]; n > 0 {
+			fmt.Printf("  %-8s %4d (%.0f%% of failures)\n", rc, n,
+				float64(n)/float64(res.Blocking.FailedWithResponse)*100)
+		}
+	}
+	fmt.Printf("  hijacked: %d probe(s)\n", res.Blocking.Hijacked)
+}

@@ -1,0 +1,116 @@
+// Command ecsscan runs the ECS-based ingress enumeration (§3, §4.1)
+// against the simulated authoritative infrastructure and prints the
+// discovered ingress addresses with AS attribution.
+//
+// By default the scan runs over the in-memory transport; -udp moves the
+// DNS exchange onto a real loopback UDP socket, exercising the full wire
+// format end to end.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/core"
+	"github.com/relay-networks/privaterelay/internal/dnsserver"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "world seed")
+		scale   = flag.Float64("scale", 0.002, "client-universe scale (1.0 = paper scale, ~12M /24s)")
+		month   = flag.Int("month", 4, "scan month (1=Jan .. 4=Apr 2022)")
+		domain  = flag.String("domain", dnsserver.MaskDomain, "service domain (mask.icloud.com. or mask-h2.icloud.com.)")
+		useUDP  = flag.Bool("udp", false, "exchange DNS over a real loopback UDP socket")
+		noSkip  = flag.Bool("no-scope-skip", false, "disable the ECS scope skip optimization (ablation)")
+		listAll = flag.Bool("list", false, "print every discovered address")
+		qps     = flag.Float64("qps", 0, "client-side query rate limit (0 = unlimited)")
+		outPath = flag.String("out", "", "save the dataset to this file")
+		diffOld = flag.String("diff", "", "diff the new dataset against a previously saved one")
+	)
+	flag.Parse()
+
+	if *month < 1 || *month > 4 {
+		log.Fatal("month must be 1..4")
+	}
+	m := netsim.ScanMonths[*month-1]
+
+	fmt.Fprintf(os.Stderr, "generating world (seed=%d scale=%g)...\n", *seed, *scale)
+	w := netsim.NewWorld(netsim.Params{Seed: *seed, Scale: *scale})
+	srv := dnsserver.NewAuthServer(w, m, nil)
+
+	var exchanger dnsserver.Exchanger = &dnsserver.MemTransport{
+		Handler: srv, Source: netip.MustParseAddr("198.51.100.53"),
+	}
+	if *useUDP {
+		us, err := dnsserver.ListenUDP("127.0.0.1:0", srv)
+		if err != nil {
+			log.Fatalf("udp listen: %v", err)
+		}
+		defer us.Close()
+		exchanger = &dnsserver.UDPClient{ServerAddr: us.Addr().String(), Retries: 2}
+		fmt.Fprintf(os.Stderr, "authoritative server on %s\n", us.Addr())
+	}
+
+	ds, err := core.Scan(context.Background(), core.ScanConfig{
+		Exchanger:    exchanger,
+		Domain:       *domain,
+		Universe:     w.RoutedV4Prefixes(),
+		Attribution:  w.Table,
+		RespectScope: !*noSkip,
+		Concurrency:  16,
+		Retries:      1,
+		QPS:          *qps,
+	})
+	if err != nil {
+		log.Fatalf("scan: %v", err)
+	}
+
+	fmt.Printf("scan %s %s: %d ingress addresses in %v\n", m, *domain, len(ds.Addresses), ds.Stats.Elapsed)
+	fmt.Printf("queries=%d skipped=%d timeouts=%d (universe %d /24s)\n",
+		ds.Stats.QueriesSent, ds.Stats.SubnetsSkipped, ds.Stats.Timeouts, ds.Stats.SubnetsTotal)
+	for as, n := range ds.OperatorCounts() {
+		fmt.Printf("  %-10s %5d addresses\n", netsim.ASName(as), n)
+	}
+	if *listAll {
+		for _, as := range []bgp.ASN{netsim.ASApple, netsim.ASAkamaiPR} {
+			for _, a := range ds.AddressesOf(as) {
+				fmt.Printf("%s,%s\n", a, netsim.ASName(as))
+			}
+		}
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dataset saved to %s\n", *outPath)
+	}
+	if *diffOld != "" {
+		f, err := os.Open(*diffOld)
+		if err != nil {
+			log.Fatal(err)
+		}
+		old, err := core.ReadDataset(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("read %s: %v", *diffOld, err)
+		}
+		added, removed := core.Diff(old, ds)
+		fmt.Printf("vs %s (%s, %d addrs): +%d added, -%d removed, growth %.1f%%\n",
+			*diffOld, old.Domain, len(old.Addresses), len(added), len(removed),
+			core.GrowthPercent(old, ds))
+	}
+}

@@ -1,0 +1,96 @@
+// Command egressreport analyzes an egress relay list (§4.2): Table 3,
+// Table 4, the country-bias summary and the Figure 2/4/5 series. It reads
+// a CSV in Apple's egress-ip-ranges format via -csv, or generates the
+// calibrated synthetic list when no file is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/relay-networks/privaterelay/internal/analysis"
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/egress"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 1, "world seed")
+		csvPath = flag.String("csv", "", "egress-ip-ranges.csv to analyze (default: generate synthetic list)")
+		dumpCSV = flag.String("write-csv", "", "write the (generated or parsed) list to this path")
+	)
+	flag.Parse()
+
+	w := netsim.NewWorld(netsim.Params{Seed: *seed, Scale: 0.001})
+	var list *egress.List
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if list, err = egress.ParseCSV(f); err != nil {
+			log.Fatalf("parse: %v", err)
+		}
+		fmt.Printf("parsed %d entries from %s\n\n", len(list.Entries), *csvPath)
+	} else {
+		list = egress.Generate(w, *seed)
+		fmt.Printf("generated %d entries (calibrated synthetic list)\n\n", len(list.Entries))
+	}
+
+	if *dumpCSV != "" {
+		f, err := os.Create(*dumpCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := list.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote list to %s\n\n", *dumpCSV)
+	}
+
+	attributed := egress.Attribute(list, w.Table)
+
+	fmt.Println("== Table 3: egress subnets per operating AS ==")
+	fmt.Print(analysis.RenderTable3(analysis.Table3(attributed)))
+
+	fmt.Println("\n== Table 4: covered cities ==")
+	fmt.Print(analysis.RenderTable4(analysis.Table4(attributed)))
+
+	shares, small := analysis.CountryShares(attributed, 50)
+	fmt.Println("\n== Country bias (§4.2) ==")
+	for _, s := range shares[:5] {
+		fmt.Printf("  %s  %6d subnets  %5.1f%%\n", s.CC, s.Subnets, s.Share)
+	}
+	fmt.Printf("  ... %d countries hold fewer than 50 subnets\n", small)
+
+	fmt.Println("\n== Figure 2 panels (IPv4 geolocation) ==")
+	akamai := analysis.GeoScatter(attributed, netsim.ASAkamaiPR, netsim.FamilyV4)
+	akamai = append(akamai, analysis.GeoScatter(attributed, netsim.ASAkamaiEdge, netsim.FamilyV4)...)
+	fmt.Print(analysis.RenderGeoBounds("Akamai", analysis.Bounds(akamai)))
+	fmt.Print(analysis.RenderGeoBounds("Cloudflare", analysis.Bounds(analysis.GeoScatter(attributed, netsim.ASCloudflare, netsim.FamilyV4))))
+	fmt.Print(analysis.RenderGeoBounds("Fastly", analysis.Bounds(analysis.GeoScatter(attributed, netsim.ASFastly, netsim.FamilyV4))))
+
+	fmt.Println("\n== Figure 4 city CDFs (IPv6) ==")
+	for _, as := range []struct {
+		name string
+		asn  netsimASN
+	}{
+		{"AkamaiPR", netsim.ASAkamaiPR},
+		{"AkamaiEdge", netsim.ASAkamaiEdge},
+		{"Cloudflare", netsim.ASCloudflare},
+		{"Fastly", netsim.ASFastly},
+	} {
+		cdf := analysis.LocationCDF(attributed, as.asn, netsim.FamilyV6, analysis.ByCity)
+		fmt.Print(analysis.RenderCDF(as.name, cdf))
+	}
+}
+
+// netsimASN keeps the table literal readable.
+type netsimASN = bgp.ASN

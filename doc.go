@@ -1,0 +1,15 @@
+// Package privaterelay is a measurement toolkit reproducing "Towards a
+// Tectonic Traffic Shift? Investigating Apple's New Relay Network"
+// (Sattler, Aulbach, Zirngibl, Carle — ACM IMC 2022).
+//
+// The library lives under internal/: a deterministic Internet model
+// (netsim, bgp, geo, aspop), a DNS stack with EDNS0 Client Subnet
+// (dnswire, dnsserver, resolver), the relay system itself (quicsim,
+// masque, relay, egress), the measurement tooling that is the paper's
+// contribution (core, atlas, scan, trace), and the evaluation layer
+// (analysis, experiments). Executables under cmd/ drive the experiments;
+// runnable walkthroughs live under examples/.
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package privaterelay

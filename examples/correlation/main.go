@@ -1,0 +1,44 @@
+// correlation: the §6 analysis of whether one operator can see both sides
+// of a relay connection. Finds the AS hosting ingress AND egress relays,
+// traceroutes to both relay kinds to demonstrate shared last-hop routers,
+// audits the AS's prefix utilization, and dates its first BGP appearance.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/relay-networks/privaterelay/internal/experiments"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+)
+
+func main() {
+	env := experiments.NewEnv(55, 0.0008)
+	result, err := env.Correlation(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("operators hosting BOTH ingress and egress relays:")
+	for _, as := range result.SharedOperators {
+		fmt.Printf("  %s (%v)\n", netsim.ASName(as), as)
+	}
+
+	fmt.Printf("\ntraceroute validation — ingress/egress pairs behind one last-hop router: %d\n",
+		len(result.LastHopPairs))
+	for i, p := range result.LastHopPairs {
+		if i >= 4 {
+			fmt.Printf("  ... and %d more\n", len(result.LastHopPairs)-4)
+			break
+		}
+		fmt.Printf("  %v (ingress) and %v (egress) share %s\n", p.Ingress, p.Egress, p.Router)
+	}
+
+	fmt.Printf("\nprefix audit: %s\n", result.Utilization)
+	fmt.Printf("first BGP appearance of AkamaiPR: %s (the service launched 2021-06)\n", result.FirstSeen)
+
+	fmt.Println("\nimplication (§6): an entity observing this AS sees the client connect")
+	fmt.Println("to the ingress AND the egress connect to the target — timing correlation")
+	fmt.Println("can re-link what the two-hop design was meant to separate.")
+}

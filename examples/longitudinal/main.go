@@ -1,0 +1,90 @@
+// longitudinal: track the service's evolution across the paper's four
+// scan months — run an ECS scan per month, persist each dataset, and
+// diff consecutive months, reproducing the §4.1 growth story (default
+// plane +34 %, fallback +293 %).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"path/filepath"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/core"
+	"github.com/relay-networks/privaterelay/internal/dnsserver"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+)
+
+func main() {
+	world := netsim.NewWorld(netsim.Params{Seed: 77, Scale: 0.0008})
+	dir, err := os.MkdirTemp("", "relay-datasets-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fmt.Printf("persisting datasets under %s\n\n", dir)
+
+	runScan := func(month bgp.Month, domain string) *core.Dataset {
+		srv := dnsserver.NewAuthServer(world, month, nil)
+		ds, err := core.Scan(context.Background(), core.ScanConfig{
+			Exchanger:    &dnsserver.MemTransport{Handler: srv, Source: netip.MustParseAddr("198.51.100.53")},
+			Domain:       domain,
+			Universe:     world.RoutedV4Prefixes(),
+			Attribution:  world.Table,
+			RespectScope: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		plane := "default"
+		if domain == dnsserver.MaskH2Domain {
+			plane = "fallback"
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", month, plane))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		return ds
+	}
+
+	fmt.Println("default plane (mask.icloud.com):")
+	var prev *core.Dataset
+	for _, m := range netsim.ScanMonths {
+		ds := runScan(m, dnsserver.MaskDomain)
+		line := fmt.Sprintf("  %s: %4d addresses", m, len(ds.Addresses))
+		if prev != nil {
+			added, removed := core.Diff(prev, ds)
+			line += fmt.Sprintf("  (+%d / -%d, %+.1f%%)", len(added), len(removed), core.GrowthPercent(prev, ds))
+		}
+		fmt.Println(line)
+		prev = ds
+	}
+
+	fmt.Println("\nfallback plane (mask-h2.icloud.com):")
+	feb := runScan(netsim.MonthFeb, dnsserver.MaskH2Domain)
+	apr := runScan(netsim.MonthApr, dnsserver.MaskH2Domain)
+	fmt.Printf("  2022-02: %d addresses\n", len(feb.Addresses))
+	fmt.Printf("  2022-04: %d addresses (%+.0f%% — the paper reports +293%%)\n",
+		len(apr.Addresses), core.GrowthPercent(feb, apr))
+
+	// Reload one persisted dataset to show the round trip.
+	path := filepath.Join(dir, "2022-04-default.csv")
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := core.ReadDataset(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreloaded %s: %d addresses (%s)\n", filepath.Base(path), len(loaded.Addresses), loaded.Domain)
+}

@@ -1,0 +1,3 @@
+module github.com/relay-networks/privaterelay
+
+go 1.22

@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"context"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/core"
+	"github.com/relay-networks/privaterelay/internal/dnsserver"
+	"github.com/relay-networks/privaterelay/internal/egress"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+	"github.com/relay-networks/privaterelay/internal/scan"
+)
+
+var (
+	aWorld      *netsim.World
+	aAttributed []egress.Attributed
+	aOnce       sync.Once
+)
+
+func fixtures(t testing.TB) (*netsim.World, []egress.Attributed) {
+	t.Helper()
+	aOnce.Do(func() {
+		aWorld = netsim.NewWorld(netsim.Params{Seed: 20, Scale: 0.0012})
+		aAttributed = egress.Attribute(egress.Generate(aWorld, 20), aWorld.Table)
+	})
+	return aWorld, aAttributed
+}
+
+func scanDataset(t testing.TB, w *netsim.World, month bgp.Month, domain string) *core.Dataset {
+	t.Helper()
+	srv := dnsserver.NewAuthServer(w, month, nil)
+	ds, err := core.Scan(context.Background(), core.ScanConfig{
+		Exchanger:    &dnsserver.MemTransport{Handler: srv, Source: netip.MustParseAddr("198.51.100.53")},
+		Domain:       domain,
+		Universe:     w.RoutedV4Prefixes(),
+		Attribution:  w.Table,
+		RespectScope: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTable1MatchesPaperShape(t *testing.T) {
+	w, _ := fixtures(t)
+	def := map[bgp.Month]*core.Dataset{}
+	fb := map[bgp.Month]*core.Dataset{}
+	for _, m := range netsim.ScanMonths {
+		def[m] = scanDataset(t, w, m, dnsserver.MaskDomain)
+		if m != netsim.MonthJan { // January fallback scan absent
+			fb[m] = scanDataset(t, w, m, dnsserver.MaskH2Domain)
+		}
+	}
+	rows := Table1(netsim.ScanMonths, def, fb)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper values.
+	want := []struct{ da, dk, fa, fk int }{
+		{365, 823, 0, 0},
+		{355, 845, 356, 0},
+		{347, 945, 334, 25},
+		{349, 1237, 336, 1062},
+	}
+	for i, r := range rows {
+		if r.DefaultApple != want[i].da || r.DefaultAkamai != want[i].dk {
+			t.Errorf("row %d default = %d/%d, want %d/%d", i, r.DefaultApple, r.DefaultAkamai, want[i].da, want[i].dk)
+		}
+		if i == 0 {
+			if r.FallbackPresent {
+				t.Error("January fallback should be absent")
+			}
+			continue
+		}
+		if !r.FallbackPresent || r.FallbackApple != want[i].fa || r.FallbackAkamai != want[i].fk {
+			t.Errorf("row %d fallback = %d/%d, want %d/%d", i, r.FallbackApple, r.FallbackAkamai, want[i].fa, want[i].fk)
+		}
+	}
+	// Akamai share grows monotonically on the default plane (69→78 %).
+	prev := -1.0
+	for _, r := range rows {
+		_, ak := r.SharePct()
+		if ak <= prev {
+			t.Errorf("Akamai share not growing: %.1f after %.1f", ak, prev)
+		}
+		prev = ak
+	}
+	text := RenderTable1(rows)
+	if !strings.Contains(text, "1237") || !strings.Contains(text, "78.0%") {
+		t.Errorf("rendered table missing key cells:\n%s", text)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	w, _ := fixtures(t)
+	ds := scanDataset(t, w, netsim.MonthApr, dnsserver.MaskDomain)
+	rows := Table2(ds, w.Pop)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byGroup := map[string]Table2Row{}
+	for _, r := range rows {
+		byGroup[r.Group] = r
+	}
+	// Orderings from Table 2.
+	if !(byGroup["AkamaiPR"].ASes > byGroup["Apple"].ASes && byGroup["Apple"].ASes > byGroup["Both"].ASes) {
+		t.Errorf("AS counts out of order: %+v", rows)
+	}
+	if !(byGroup["Both"].Subnets > byGroup["AkamaiPR"].Subnets && byGroup["AkamaiPR"].Subnets > byGroup["Apple"].Subnets) {
+		t.Errorf("subnet counts out of order: %+v", rows)
+	}
+	if !(byGroup["Both"].ASPop > byGroup["AkamaiPR"].ASPop && byGroup["AkamaiPR"].ASPop > byGroup["Apple"].ASPop) {
+		t.Errorf("populations out of order: %+v", rows)
+	}
+	share := AppleShareInBoth(ds)
+	if share < 70 || share > 82 {
+		t.Errorf("Apple share in Both = %.1f%%", share)
+	}
+	if !strings.Contains(RenderTable2(rows, share), "Both") {
+		t.Error("render missing Both row")
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	_, attributed := fixtures(t)
+	rows := Table3(attributed)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[bgp.ASN]Table3Row{
+		netsim.ASCloudflare: {V4Subnets: 18218, V4BGP: 112, V4Addrs: 18218, V6Subnets: 26988, V6BGP: 2, V6CCs: 248},
+		netsim.ASAkamaiEdge: {V4Subnets: 1602, V4BGP: 1, V4Addrs: 5100, V6Subnets: 23495, V6BGP: 1, V6CCs: 24},
+		netsim.ASAkamaiPR:   {V4Subnets: 9890, V4BGP: 301, V4Addrs: 57589, V6Subnets: 142826, V6BGP: 1172, V6CCs: 236},
+		netsim.ASFastly:     {V4Subnets: 8530, V4BGP: 81, V4Addrs: 17060, V6Subnets: 8530, V6BGP: 81, V6CCs: 236},
+	}
+	for _, r := range rows {
+		w, ok := want[r.AS]
+		if !ok {
+			t.Fatalf("unexpected AS %v", r.AS)
+		}
+		if r.V4Subnets != w.V4Subnets || r.V4BGP != w.V4BGP || r.V4Addrs != w.V4Addrs ||
+			r.V6Subnets != w.V6Subnets || r.V6BGP != w.V6BGP || r.V6CCs != w.V6CCs {
+			t.Errorf("%s row = %+v, want %+v", netsim.ASName(r.AS), r, w)
+		}
+	}
+	text := RenderTable3(rows)
+	if !strings.Contains(text, "142826") || !strings.Contains(text, "57589") {
+		t.Errorf("rendered Table 3 missing cells:\n%s", text)
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	_, attributed := fixtures(t)
+	rows := Table4(attributed)
+	want := map[bgp.ASN][3]int{
+		netsim.ASAkamaiPR:   {14088, 853, 14085},
+		netsim.ASAkamaiEdge: {7507, 455, 7507},
+		netsim.ASCloudflare: {5228, 1134, 5228},
+		netsim.ASFastly:     {848, 848, 848},
+	}
+	for _, r := range rows {
+		w := want[r.AS]
+		if r.Cities != w[0] || r.CitiesV4 != w[1] || r.CitiesV6 != w[2] {
+			t.Errorf("%s cities = %d/%d/%d, want %v", netsim.ASName(r.AS), r.Cities, r.CitiesV4, r.CitiesV6, w)
+		}
+	}
+	if !strings.Contains(RenderTable4(rows), "14088") {
+		t.Error("rendered Table 4 missing combined city count")
+	}
+}
+
+func TestCountryShares(t *testing.T) {
+	_, attributed := fixtures(t)
+	shares, small := CountryShares(attributed, 50)
+	if shares[0].CC != "US" {
+		t.Fatalf("top country = %s", shares[0].CC)
+	}
+	if shares[0].Share < 50 || shares[0].Share > 66 {
+		t.Fatalf("US share = %.1f%%", shares[0].Share)
+	}
+	if shares[1].CC != "DE" {
+		t.Fatalf("second country = %s", shares[1].CC)
+	}
+	if small < 90 || small > 160 {
+		t.Fatalf("small countries = %d, want ≈123", small)
+	}
+}
+
+func TestGeoScatterAndBounds(t *testing.T) {
+	_, attributed := fixtures(t)
+	pts := GeoScatter(attributed, netsim.ASCloudflare, netsim.FamilyV4)
+	if len(pts) != 18218 {
+		t.Fatalf("Cloudflare v4 points = %d", len(pts))
+	}
+	b := Bounds(pts)
+	if b.DistinctCountries != 248 {
+		t.Fatalf("scatter countries = %d", b.DistinctCountries)
+	}
+	// Points span the globe.
+	if b.MaxLat-b.MinLat < 60 || b.MaxLon-b.MinLon < 180 {
+		t.Fatalf("scatter not global: %+v", b)
+	}
+	if Bounds(nil).Points != 0 {
+		t.Fatal("empty bounds")
+	}
+	if !strings.Contains(RenderGeoBounds("cf", b), "248") {
+		t.Fatal("render misses country count")
+	}
+}
+
+func TestLocationCDFShape(t *testing.T) {
+	_, attributed := fixtures(t)
+	cdf := LocationCDF(attributed, netsim.ASAkamaiPR, netsim.FamilyV6, ByCity)
+	if len(cdf) != 14085 {
+		t.Fatalf("CDF over %d cities, want 14085", len(cdf))
+	}
+	// Monotonic, ends at 1.
+	prev := 0.0
+	for _, p := range cdf {
+		if p.CumShare < prev {
+			t.Fatal("CDF not monotonic")
+		}
+		prev = p.CumShare
+	}
+	if prev < 0.999 || prev > 1.001 {
+		t.Fatalf("CDF ends at %.4f", prev)
+	}
+	// Concentration: top 10 % of cities hold around half the subnets
+	// (the Figure 4 curves rise steeply).
+	if g := GiniLike(cdf); g < 0.45 {
+		t.Fatalf("top-decile share = %.2f, want concentrated", g)
+	}
+	ccCDF := LocationCDF(attributed, netsim.ASAkamaiPR, netsim.FamilyV6, ByCountry)
+	if len(ccCDF) != 236 {
+		t.Fatalf("country CDF over %d CCs", len(ccCDF))
+	}
+	if !strings.Contains(RenderCDF("x", cdf), "top") {
+		t.Fatal("CDF render broken")
+	}
+	if RenderCDF("empty", nil) == "" {
+		t.Fatal("empty CDF render broken")
+	}
+}
+
+func TestFigure3Rendering(t *testing.T) {
+	obs := []scan.Observation{
+		{Round: 0, Operator: netsim.ASCloudflare},
+		{Round: 1, Operator: netsim.ASCloudflare},
+		{Round: 2, At: 10 * time.Minute, Operator: netsim.ASAkamaiPR},
+	}
+	s := Figure3("Open Scan", obs)
+	if s.Rounds != 3 || len(s.Changes) != 1 {
+		t.Fatalf("series: %+v", s)
+	}
+	text := RenderFigure3([]Figure3Series{s})
+	if !strings.Contains(text, "Open Scan") || !strings.Contains(text, "Cloudflare → AkamaiPR") {
+		t.Fatalf("render:\n%s", text)
+	}
+}

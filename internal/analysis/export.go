@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"github.com/relay-networks/privaterelay/internal/netsim"
+	"github.com/relay-networks/privaterelay/internal/scan"
+)
+
+// CSV exporters: each figure's raw series in a plottable form, so the
+// paper's plots can be regenerated with any charting tool.
+
+// WriteGeoScatterCSV emits "lat,lon,cc" rows — one per egress subnet —
+// for a Figure 2/5 panel.
+func WriteGeoScatterCSV(w io.Writer, points []GeoPoint) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "lat,lon,cc"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(bw, "%.4f,%.4f,%s\n", p.Lat, p.Lon, p.CC); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCDFCSV emits "rank,cum_share" rows for a Figure 4 curve.
+func WriteCDFCSV(w io.Writer, cdf []CDFPoint) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "rank,cum_share"); err != nil {
+		return err
+	}
+	for _, p := range cdf {
+		if _, err := fmt.Fprintf(bw, "%d,%.6f\n", p.Rank, p.CumShare); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteOperatorTimelineCSV emits "round,seconds,operator" rows for one
+// Figure 3 series (every round, not only the change events, so the
+// timeline can be drawn as the paper does).
+func WriteOperatorTimelineCSV(w io.Writer, obs []scan.Observation) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "round,seconds,operator"); err != nil {
+		return err
+	}
+	for _, o := range obs {
+		if o.Failed {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%.0f,%s\n", o.Round, o.At.Seconds(), netsim.ASName(o.Operator)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,299 @@
+// Package analysis turns measurement outputs into the paper's tables and
+// figures: Table 1 (ingress evolution), Table 2 (client attribution),
+// Table 3 (egress subnets), Table 4 (covered cities), Figure 2/5 (egress
+// geolocation scatter), Figure 3 (operator changes), Figure 4 (location
+// CDFs), plus the §4.1 blocking and §4.3 rotation summaries.
+//
+// Builders are pure functions over the measurement results; rendering is
+// separated so binaries can emit either aligned text or CSV.
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"github.com/relay-networks/privaterelay/internal/aspop"
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/core"
+	"github.com/relay-networks/privaterelay/internal/egress"
+	"github.com/relay-networks/privaterelay/internal/iputil"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+)
+
+// Table1Row is one month of Table 1.
+type Table1Row struct {
+	Month bgp.Month
+	// Default plane (mask.icloud.com).
+	DefaultApple, DefaultAkamai int
+	// Fallback plane (mask-h2.icloud.com); Present is false for January,
+	// where the paper ran no fallback scan.
+	FallbackPresent               bool
+	FallbackApple, FallbackAkamai int
+}
+
+// SharePct returns (appleShare, akamaiShare) of the default plane.
+func (r Table1Row) SharePct() (float64, float64) {
+	total := float64(r.DefaultApple + r.DefaultAkamai)
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(r.DefaultApple) / total * 100, float64(r.DefaultAkamai) / total * 100
+}
+
+// Table1 builds the ingress-evolution table from per-month datasets.
+// fallback may omit months (nil dataset → scan absent).
+func Table1(months []bgp.Month, def, fallback map[bgp.Month]*core.Dataset) []Table1Row {
+	rows := make([]Table1Row, 0, len(months))
+	for _, m := range months {
+		row := Table1Row{Month: m}
+		if ds := def[m]; ds != nil {
+			c := ds.OperatorCounts()
+			row.DefaultApple = c[netsim.ASApple]
+			row.DefaultAkamai = c[netsim.ASAkamaiPR]
+		}
+		if ds := fallback[m]; ds != nil {
+			row.FallbackPresent = true
+			c := ds.OperatorCounts()
+			row.FallbackApple = c[netsim.ASApple]
+			row.FallbackAkamai = c[netsim.ASAkamaiPR]
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table2Row is one serving-group row of Table 2.
+type Table2Row struct {
+	Group   string
+	ASPop   int64
+	ASes    int
+	Subnets int64
+}
+
+// Table2 joins the April scan's serving statistics with the AS
+// population dataset, grouping client ASes by which operators serve them.
+func Table2(ds *core.Dataset, pop *aspop.Dataset) []Table2Row {
+	rows := map[string]*Table2Row{
+		"AkamaiPR": {Group: "AkamaiPR"},
+		"Apple":    {Group: "Apple"},
+		"Both":     {Group: "Both"},
+	}
+	for clientAS, st := range ds.Serving {
+		ak := st.SubnetsByOperator[netsim.ASAkamaiPR]
+		ap := st.SubnetsByOperator[netsim.ASApple]
+		var key string
+		switch {
+		case ak > 0 && ap > 0:
+			key = "Both"
+		case ak > 0:
+			key = "AkamaiPR"
+		case ap > 0:
+			key = "Apple"
+		default:
+			continue
+		}
+		r := rows[key]
+		r.ASes++
+		r.Subnets += ak + ap
+		r.ASPop += pop.Population(clientAS)
+	}
+	return []Table2Row{*rows["AkamaiPR"], *rows["Apple"], *rows["Both"]}
+}
+
+// AppleShareInBoth returns Apple's share (percent) of served subnets
+// within "both"-group ASes — the Table 2 footnote.
+func AppleShareInBoth(ds *core.Dataset) float64 {
+	var apple, total int64
+	for _, st := range ds.Serving {
+		ak := st.SubnetsByOperator[netsim.ASAkamaiPR]
+		ap := st.SubnetsByOperator[netsim.ASApple]
+		if ak > 0 && ap > 0 {
+			apple += ap
+			total += ak + ap
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(apple) / float64(total) * 100
+}
+
+// Table3Row is one operator row of Table 3.
+type Table3Row struct {
+	AS bgp.ASN
+	// IPv4.
+	V4Subnets int
+	V4BGP     int
+	V4Addrs   uint64
+	// IPv6 (all /64s; the paper omits the address count).
+	V6Subnets int
+	V6BGP     int
+	V6CCs     int
+}
+
+// Table3 aggregates the attributed egress list per operator.
+func Table3(attributed []egress.Attributed) []Table3Row {
+	type acc struct {
+		row   Table3Row
+		v4BGP map[netip.Prefix]bool
+		v6BGP map[netip.Prefix]bool
+		v6CCs map[string]bool
+	}
+	byAS := map[bgp.ASN]*acc{}
+	for _, a := range attributed {
+		if a.AS == 0 {
+			continue
+		}
+		ac := byAS[a.AS]
+		if ac == nil {
+			ac = &acc{row: Table3Row{AS: a.AS},
+				v4BGP: map[netip.Prefix]bool{}, v6BGP: map[netip.Prefix]bool{}, v6CCs: map[string]bool{}}
+			byAS[a.AS] = ac
+		}
+		if a.Prefix.Addr().Is4() {
+			ac.row.V4Subnets++
+			ac.row.V4Addrs += iputil.AddrCount(a.Prefix)
+			ac.v4BGP[a.BGPPrefix] = true
+		} else {
+			ac.row.V6Subnets++
+			ac.v6BGP[a.BGPPrefix] = true
+			ac.v6CCs[a.CC] = true
+		}
+	}
+	var out []Table3Row
+	for _, ac := range byAS {
+		ac.row.V4BGP = len(ac.v4BGP)
+		ac.row.V6BGP = len(ac.v6BGP)
+		ac.row.V6CCs = len(ac.v6CCs)
+		out = append(out, ac.row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AS < out[j].AS })
+	return out
+}
+
+// Table4Row is one operator row of Table 4 (appendix A).
+type Table4Row struct {
+	AS                         bgp.ASN
+	Cities, CitiesV4, CitiesV6 int
+}
+
+// Table4 counts covered cities per operator, overall and per family.
+func Table4(attributed []egress.Attributed) []Table4Row {
+	type sets struct{ all, v4, v6 map[string]bool }
+	byAS := map[bgp.ASN]*sets{}
+	for _, a := range attributed {
+		if a.AS == 0 || a.City == "" {
+			continue
+		}
+		s := byAS[a.AS]
+		if s == nil {
+			s = &sets{all: map[string]bool{}, v4: map[string]bool{}, v6: map[string]bool{}}
+			byAS[a.AS] = s
+		}
+		key := a.CC + "/" + a.City
+		s.all[key] = true
+		if a.Prefix.Addr().Is4() {
+			s.v4[key] = true
+		} else {
+			s.v6[key] = true
+		}
+	}
+	var out []Table4Row
+	for as, s := range byAS {
+		out = append(out, Table4Row{AS: as, Cities: len(s.all), CitiesV4: len(s.v4), CitiesV6: len(s.v6)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AS < out[j].AS })
+	return out
+}
+
+// CountryShare summarizes the §4.2 geographic bias.
+type CountryShare struct {
+	CC      string
+	Subnets int
+	Share   float64 // percent of all subnets
+}
+
+// CountryShares returns per-country subnet shares, descending, plus the
+// number of countries holding fewer than `smallThreshold` subnets.
+func CountryShares(attributed []egress.Attributed, smallThreshold int) (shares []CountryShare, smallCCs int) {
+	counts := map[string]int{}
+	total := 0
+	for _, a := range attributed {
+		counts[a.CC]++
+		total++
+	}
+	for cc, n := range counts {
+		shares = append(shares, CountryShare{CC: cc, Subnets: n, Share: float64(n) / float64(total) * 100})
+		if n < smallThreshold {
+			smallCCs++
+		}
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].Subnets != shares[j].Subnets {
+			return shares[i].Subnets > shares[j].Subnets
+		}
+		return shares[i].CC < shares[j].CC
+	})
+	return shares, smallCCs
+}
+
+// RenderTable1 renders Table 1 in the paper's layout.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("            Default                    Fallback\n")
+	sb.WriteString("Month   Apple        Akamai        Apple        Akamai\n")
+	for _, r := range rows {
+		ap, ak := r.SharePct()
+		fmt.Fprintf(&sb, "%s  %4d %5.1f%%  %4d %5.1f%%", r.Month.String()[5:], r.DefaultApple, ap, r.DefaultAkamai, ak)
+		if !r.FallbackPresent {
+			sb.WriteString("     -      -       -      -\n")
+			continue
+		}
+		ft := float64(r.FallbackApple + r.FallbackAkamai)
+		fmt.Fprintf(&sb, "  %4d %5.1f%%  %4d %5.1f%%\n",
+			r.FallbackApple, pct(r.FallbackApple, ft), r.FallbackAkamai, pct(r.FallbackAkamai, ft))
+	}
+	return sb.String()
+}
+
+// RenderTable2 renders Table 2.
+func RenderTable2(rows []Table2Row, appleShareBoth float64) string {
+	var sb strings.Builder
+	sb.WriteString("AS         ASPop        ASes    /24 Subnets\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-9s  %11d  %6d  %11d\n", r.Group, r.ASPop, r.ASes, r.Subnets)
+	}
+	fmt.Fprintf(&sb, "Apple's subnet share within Both: %.0f%%\n", appleShareBoth)
+	return sb.String()
+}
+
+// RenderTable3 renders Table 3.
+func RenderTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("                 IPv4                          IPv6\n")
+	sb.WriteString("AS          Subnets  BGP Pfxs  IP Addr.   Subnets  BGP Pfxs  CCs\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11s %7d  %8d  %8d  %8d  %8d  %3d\n",
+			netsim.ASName(r.AS), r.V4Subnets, r.V4BGP, r.V4Addrs, r.V6Subnets, r.V6BGP, r.V6CCs)
+	}
+	return sb.String()
+}
+
+// RenderTable4 renders Table 4.
+func RenderTable4(rows []Table4Row) string {
+	var sb strings.Builder
+	sb.WriteString("AS          Covered Cities   IPv4   IPv6\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-11s %14d  %5d  %5d\n", netsim.ASName(r.AS), r.Cities, r.CitiesV4, r.CitiesV6)
+	}
+	return sb.String()
+}
+
+func pct(n int, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / total * 100
+}

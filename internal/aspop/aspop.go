@@ -1,0 +1,108 @@
+// Package aspop models the APNIC "visible ASN customer population"
+// dataset the paper joins against its April ECS scan (Table 2). The
+// dataset maps an origin AS to an estimated number of Internet users.
+//
+// Populations across ASes are famously heavy-tailed; the synthetic
+// assigner distributes a country- or group-level total across member ASes
+// with a Zipf-like law so that aggregate joins behave like the real data.
+package aspop
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+// Dataset maps ASNs to estimated user populations.
+type Dataset struct {
+	mu  sync.RWMutex
+	pop map[bgp.ASN]int64
+}
+
+// New returns an empty dataset.
+func New() *Dataset {
+	return &Dataset{pop: make(map[bgp.ASN]int64)}
+}
+
+// Set records the population of as, replacing any previous value.
+func (d *Dataset) Set(as bgp.ASN, population int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pop[as] = population
+}
+
+// Population returns the estimated user population of as (0 if unknown).
+func (d *Dataset) Population(as bgp.ASN) int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.pop[as]
+}
+
+// TotalOf sums the population of the given ASes.
+func (d *Dataset) TotalOf(ases []bgp.ASN) int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var sum int64
+	for _, as := range ases {
+		sum += d.pop[as]
+	}
+	return sum
+}
+
+// Len returns the number of ASes with a recorded population.
+func (d *Dataset) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pop)
+}
+
+// ASNs returns all ASes in the dataset, sorted ascending.
+func (d *Dataset) ASNs() []bgp.ASN {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]bgp.ASN, 0, len(d.pop))
+	for as := range d.pop {
+		out = append(out, as)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AssignZipf distributes total users across the given ASes following a
+// Zipf-like rank distribution (weight ∝ 1/rank). Ranks are assigned by a
+// deterministic shuffle keyed on salt so that re-running with the same
+// inputs reproduces identical populations. The per-AS values are rounded
+// so they sum exactly to total.
+func (d *Dataset) AssignZipf(ases []bgp.ASN, total int64, salt string) {
+	n := len(ases)
+	if n == 0 || total <= 0 {
+		return
+	}
+	// Deterministic rank order: sort by hash of (salt, ASN).
+	ranked := append([]bgp.ASN(nil), ases...)
+	sort.Slice(ranked, func(i, j int) bool {
+		hi := iputil.Mix(uint64(ranked[i]), iputil.HashString(salt))
+		hj := iputil.Mix(uint64(ranked[j]), iputil.HashString(salt))
+		if hi != hj {
+			return hi < hj
+		}
+		return ranked[i] < ranked[j]
+	})
+	// Harmonic normalization.
+	var hsum float64
+	for r := 1; r <= n; r++ {
+		hsum += 1 / float64(r)
+	}
+	var assigned int64
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for r, as := range ranked {
+		share := int64(float64(total) / hsum / float64(r+1))
+		d.pop[as] += share
+		assigned += share
+	}
+	// Give rounding remainder to the top-ranked AS so totals are exact.
+	d.pop[ranked[0]] += total - assigned
+}

@@ -1,0 +1,111 @@
+package aspop
+
+import (
+	"testing"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+)
+
+func TestSetAndPopulation(t *testing.T) {
+	d := New()
+	d.Set(714, 1_000_000)
+	if got := d.Population(714); got != 1_000_000 {
+		t.Fatalf("Population = %d", got)
+	}
+	if got := d.Population(999); got != 0 {
+		t.Fatalf("unknown AS population = %d, want 0", got)
+	}
+	d.Set(714, 5)
+	if got := d.Population(714); got != 5 {
+		t.Fatalf("overwrite failed: %d", got)
+	}
+}
+
+func TestTotalOfAndLen(t *testing.T) {
+	d := New()
+	d.Set(1, 10)
+	d.Set(2, 20)
+	d.Set(3, 30)
+	if got := d.TotalOf([]bgp.ASN{1, 3}); got != 40 {
+		t.Fatalf("TotalOf = %d", got)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	asns := d.ASNs()
+	if len(asns) != 3 || asns[0] != 1 || asns[2] != 3 {
+		t.Fatalf("ASNs = %v", asns)
+	}
+}
+
+func TestAssignZipfExactTotal(t *testing.T) {
+	d := New()
+	ases := make([]bgp.ASN, 100)
+	for i := range ases {
+		ases[i] = bgp.ASN(64512 + i)
+	}
+	const total = 994_000_000
+	d.AssignZipf(ases, total, "akamai-only")
+	if got := d.TotalOf(ases); got != total {
+		t.Fatalf("total = %d, want %d", got, total)
+	}
+}
+
+func TestAssignZipfHeavyTail(t *testing.T) {
+	d := New()
+	ases := make([]bgp.ASN, 1000)
+	for i := range ases {
+		ases[i] = bgp.ASN(100 + i)
+	}
+	d.AssignZipf(ases, 1_000_000_000, "tail")
+	// Top AS should hold far more than a uniform share (1M each).
+	var max int64
+	for _, as := range ases {
+		if p := d.Population(as); p > max {
+			max = p
+		}
+	}
+	if max < 10_000_000 {
+		t.Fatalf("largest AS holds %d users; expected a heavy tail", max)
+	}
+}
+
+func TestAssignZipfDeterministic(t *testing.T) {
+	mk := func() *Dataset {
+		d := New()
+		ases := []bgp.ASN{10, 20, 30, 40, 50}
+		d.AssignZipf(ases, 12345, "salt")
+		return d
+	}
+	a, b := mk(), mk()
+	for _, as := range []bgp.ASN{10, 20, 30, 40, 50} {
+		if a.Population(as) != b.Population(as) {
+			t.Fatalf("AS%d differs between runs", as)
+		}
+	}
+	// Different salt must rank differently for at least one AS.
+	c := New()
+	c.AssignZipf([]bgp.ASN{10, 20, 30, 40, 50}, 12345, "other")
+	same := true
+	for _, as := range []bgp.ASN{10, 20, 30, 40, 50} {
+		if a.Population(as) != c.Population(as) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("salt has no effect on ranking")
+	}
+}
+
+func TestAssignZipfDegenerateInputs(t *testing.T) {
+	d := New()
+	d.AssignZipf(nil, 100, "x")
+	d.AssignZipf([]bgp.ASN{1}, 0, "x")
+	if d.Len() != 0 {
+		t.Fatal("degenerate inputs should assign nothing")
+	}
+	d.AssignZipf([]bgp.ASN{7}, 99, "x")
+	if d.Population(7) != 99 {
+		t.Fatalf("single AS gets full total: %d", d.Population(7))
+	}
+}

@@ -1,0 +1,452 @@
+// Package atlas simulates the RIPE Atlas measurement platform as the
+// paper uses it (§3, §4.1): a globally distributed probe population with
+// the documented biases — concentration in North America and Europe,
+// more than half of all probes behind four public resolvers, and many
+// probes sharing /24s — running DNS measurement campaigns against the
+// relay service domains.
+//
+// Three campaigns from the paper are supported: A-record validation of
+// the ECS scan, AAAA enumeration of the IPv6 ingress fleet (ECS cannot
+// enumerate IPv6, §3), and the service-blocking study with its
+// control-domain methodology.
+package atlas
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/dnsserver"
+	"github.com/relay-networks/privaterelay/internal/dnswire"
+	"github.com/relay-networks/privaterelay/internal/iputil"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+	"github.com/relay-networks/privaterelay/internal/resolver"
+)
+
+// Probe is one Atlas vantage point.
+type Probe struct {
+	ID int
+	// AS is the probe's host network.
+	AS bgp.ASN
+	// Addr is the probe's IPv4 address; probes cluster into shared /24s.
+	Addr netip.Addr
+	// CC is the probe's country.
+	CC string
+	// Resolver is the recursive resolver this probe is configured with.
+	Resolver *resolver.Resolver
+	// ResolverName identifies the resolver ("GooglePublicDNS", "isp-42").
+	ResolverName string
+	// TimeoutProne marks probes whose queries time out (§4.1: 10 % of
+	// probes time out for any domain — connectivity, not blocking).
+	TimeoutProne bool
+}
+
+// Population is a generated probe set with its resolver fabric.
+type Population struct {
+	Probes []Probe
+	// Resolvers maps resolver name → instance (shared between probes).
+	Resolvers map[string]*resolver.Resolver
+	world     *netsim.World
+	handler   dnsserver.Handler
+}
+
+// Config tunes population generation.
+type Config struct {
+	// N is the number of probes (default 11700, matching the paper's
+	// 645 = 5.5 % blocked arithmetic).
+	N int
+	// Seed drives all deterministic choices.
+	Seed uint64
+	// SubnetClusters is the number of distinct /24s probes share
+	// (default 600). Clustering is why Atlas validation discovers fewer
+	// ingress addresses than the exhaustive ECS scan.
+	SubnetClusters int
+	// PublicResolverShare is the per-mille of probes using one of the
+	// four public resolvers (default 520 ≈ "more than half").
+	PublicResolverShare int
+	// ISPBlockedPerMille is the per-mille of ISP resolvers that block
+	// the relay domains (default 141, calibrated to ≈5.5 % of probes
+	// after accounting for the public-resolver share, the timeout share
+	// and the non-blocking SERVFAIL/FORMERR slice).
+	ISPBlockedPerMille int
+	// TimeoutPerMille is the per-mille of timeout-prone probes
+	// (default 100 = the paper's 10 %).
+	TimeoutPerMille int
+	// Phase shifts the ingress fleet window the upstream answers from,
+	// modeling the time offset between the ECS scan and the Atlas run.
+	Phase int
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 11700
+	}
+	if c.SubnetClusters <= 0 {
+		c.SubnetClusters = 600
+	}
+	if c.PublicResolverShare <= 0 {
+		c.PublicResolverShare = 520
+	}
+	if c.ISPBlockedPerMille <= 0 {
+		c.ISPBlockedPerMille = 141
+	}
+	if c.TimeoutPerMille <= 0 {
+		c.TimeoutPerMille = 100
+	}
+	return c
+}
+
+// blockPolicies is the §4.1 mix among blocking resolvers: 72 % NXDOMAIN,
+// 13 % NOERROR/no-data, 5 % REFUSED, the rest SERVFAIL or FORMERR — plus
+// exactly one hijacking resolver installed separately.
+var blockPolicies = []struct {
+	policy resolver.Policy
+	weight int
+}{
+	{resolver.PolicyNXDomain, 72},
+	{resolver.PolicyNoData, 13},
+	{resolver.PolicyRefused, 5},
+	{resolver.PolicyServFail, 6},
+	{resolver.PolicyFormErr, 4},
+}
+
+// NewPopulation builds the probe set against a world and its
+// authoritative server. The upstream handler answers with the fleet of
+// the given month at cfg.Phase.
+func NewPopulation(w *netsim.World, month bgp.Month, cfg Config) *Population {
+	cfg = cfg.withDefaults()
+	pop := &Population{
+		Resolvers: make(map[string]*resolver.Resolver),
+		world:     w,
+	}
+	handler := &phaseHandler{inner: dnsserver.NewAuthServer(w, month, nil), world: w, month: month, phase: cfg.Phase}
+	pop.handler = handler
+
+	mkResolver := func(name string, addr netip.Addr) *resolver.Resolver {
+		if r, ok := pop.Resolvers[name]; ok {
+			return r
+		}
+		r := resolver.New(addr, &dnsserver.MemTransport{Handler: handler, Source: addr})
+		pop.Resolvers[name] = r
+		return r
+	}
+	// The four public resolvers.
+	for _, pr := range resolver.PublicResolvers {
+		mkResolver(pr.Name, pr.V6) // v6 identity keys AAAA answers
+	}
+
+	// Probe subnets cluster into a limited pool of client /24s, weighted
+	// by AS size (probes sit in well-connected networks), which means
+	// mostly the large "both"-group ASes — exactly why Atlas validation
+	// sees fewer addresses than the exhaustive ECS scan.
+	clients := w.ClientASes
+	cum := make([]int, len(clients))
+	total := 0
+	for i, c := range clients {
+		total += c.Slash24s
+		cum[i] = total
+	}
+	pickClient := func(h uint64) netsim.ClientAS {
+		x := int(h % uint64(total))
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] <= x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return clients[lo]
+	}
+	clusterSet := make(map[netip.Prefix]bool, cfg.SubnetClusters)
+	clusters := make([]netip.Prefix, 0, cfg.SubnetClusters)
+	for k := 0; len(clusters) < cfg.SubnetClusters && k < 20*cfg.SubnetClusters; k++ {
+		c := pickClient(iputil.Mix(cfg.Seed^0xA71A5, uint64(k)))
+		sub := iputil.NthSubnet(c.Prefixes[0], 24,
+			iputil.Mix(cfg.Seed, uint64(k))%iputil.SubnetCount(c.Prefixes[0], 24))
+		if !clusterSet[sub] {
+			clusterSet[sub] = true
+			clusters = append(clusters, sub)
+		}
+	}
+
+	for id := 0; id < cfg.N; id++ {
+		h := iputil.Mix(cfg.Seed^0xBEEF, uint64(id))
+		sub := clusters[h%uint64(len(clusters))]
+		addr := iputil.AddrAtIndex(sub, 1+(h>>32)%250)
+		as, _ := w.Table.Origin(addr)
+
+		var res *resolver.Resolver
+		var resName string
+		if int(h%1000) < cfg.PublicResolverShare {
+			pr := resolver.PublicResolvers[h/1000%uint64(len(resolver.PublicResolvers))]
+			resName = pr.Name
+			res = pop.Resolvers[resName]
+		} else {
+			// ISP resolver: one per probe cluster (a resolver site close
+			// to the probes sharing the /24).
+			resName = fmt.Sprintf("isp-%d-%s", as, sub)
+			fresh := pop.Resolvers[resName] == nil
+			res = mkResolver(resName, ispResolverAddr(iputil.HashString(resName)))
+			if fresh {
+				// A deterministic slice of ISP resolvers block the service.
+				bh := iputil.Mix(cfg.Seed^0xB10C, iputil.HashString(resName))
+				if int(bh%1000) < cfg.ISPBlockedPerMille {
+					res.Block("icloud.com", pickPolicy(bh))
+				}
+			}
+		}
+
+		cc := probeCountry(h)
+		pop.Probes = append(pop.Probes, Probe{
+			ID:           id,
+			AS:           as,
+			Addr:         addr,
+			CC:           cc,
+			Resolver:     res,
+			ResolverName: resName,
+			TimeoutProne: int(iputil.Mix(cfg.Seed^0x71EE, uint64(id))%1000) < cfg.TimeoutPerMille,
+		})
+	}
+	// Exactly one ISP resolver hijacks the domain (§4.1 observed a single
+	// nextdns-style interception): pick the used ISP resolver with the
+	// smallest name hash.
+	var hijackName string
+	var best uint64
+	for name := range pop.Resolvers {
+		if len(name) < 4 || name[:4] != "isp-" {
+			continue
+		}
+		if h := iputil.HashString(name); hijackName == "" || h < best {
+			hijackName, best = name, h
+		}
+	}
+	if hijackName != "" {
+		pop.Resolvers[hijackName].Block("icloud.com", resolver.PolicyHijack)
+	}
+	return pop
+}
+
+// pickPolicy selects a blocking policy with the §4.1 weights.
+func pickPolicy(h uint64) resolver.Policy {
+	total := 0
+	for _, bp := range blockPolicies {
+		total += bp.weight
+	}
+	x := int(h / 7 % uint64(total))
+	for _, bp := range blockPolicies {
+		if x < bp.weight {
+			return bp.policy
+		}
+		x -= bp.weight
+	}
+	return resolver.PolicyNXDomain
+}
+
+// probeCountry reflects the Atlas bias toward North America and Europe.
+func probeCountry(h uint64) string {
+	biased := []string{"US", "US", "US", "DE", "DE", "FR", "GB", "NL", "CA", "SE", "CH", "IT"}
+	global := []string{"BR", "JP", "AU", "IN", "ZA", "SG", "AR", "KE", "TH", "MX"}
+	if h%100 < 78 {
+		return biased[h/100%uint64(len(biased))]
+	}
+	return global[h/100%uint64(len(global))]
+}
+
+// ispResolverAddr derives a stable IPv6 identity for an AS's resolver
+// (only its hash matters — it keys AAAA answer selection upstream).
+func ispResolverAddr(as uint64) netip.Addr {
+	var b [16]byte
+	b[0] = 0xfd // ULA
+	binary.BigEndian.PutUint64(b[4:], iputil.Mix(as, 0xD15))
+	return netip.AddrFrom16(b)
+}
+
+// phaseHandler wraps the authoritative server but answers A queries from
+// a phase-shifted fleet window, so an Atlas campaign run "minutes" after
+// the 40-hour ECS scan can see one address the scan did not (§4.1).
+type phaseHandler struct {
+	inner *dnsserver.AuthServer
+	world *netsim.World
+	month bgp.Month
+	phase int
+}
+
+// Handle implements dnsserver.Handler.
+func (p *phaseHandler) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
+	resp := p.inner.Handle(q, from)
+	if p.phase == 0 || resp == nil || len(resp.Answers) == 0 {
+		return resp
+	}
+	if len(q.Questions) != 1 || q.Questions[0].Type != dnswire.TypeA {
+		return resp
+	}
+	proto := netsim.ProtoDefault
+	if dnswire.CanonicalName(q.Questions[0].Name) == dnsserver.MaskH2Domain {
+		proto = netsim.ProtoFallback
+	}
+	// Re-map each answer onto the phase-shifted fleet: an address that
+	// rotated out is replaced by its phase-shifted successor.
+	current := p.world.FleetUnion(p.month, proto, netsim.FamilyV4, 0)
+	shifted := p.world.FleetUnion(p.month, proto, netsim.FamilyV4, p.phase)
+	_ = current
+	var fresh []netip.Addr
+	for a := range shifted {
+		if _, ok := current[a]; !ok {
+			fresh = append(fresh, a)
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Less(fresh[j]) })
+	if len(fresh) > 0 {
+		// Swap the first answer for a fresh address on a sliver of
+		// queries, reproducing the single extra address.
+		if iputil.HashAddr(from)%97 == 0 {
+			resp.Answers[0].A = fresh[iputil.HashAddr(from)%uint64(len(fresh))]
+		}
+	}
+	return resp
+}
+
+// --- Campaigns ---
+
+// MeasurementResult is one probe's DNS measurement outcome.
+type MeasurementResult struct {
+	ProbeID  int
+	Addrs    []netip.Addr
+	RCode    dnswire.RCode
+	TimedOut bool
+	Hijacked bool
+}
+
+// Campaign runs one DNS measurement across all probes.
+type Campaign struct {
+	Domain string
+	Type   dnswire.Type
+}
+
+// Run executes the campaign, returning per-probe results.
+func (c Campaign) Run(ctx context.Context, pop *Population) ([]MeasurementResult, error) {
+	out := make([]MeasurementResult, 0, len(pop.Probes))
+	for i := range pop.Probes {
+		p := &pop.Probes[i]
+		res := MeasurementResult{ProbeID: p.ID}
+		if p.TimeoutProne {
+			res.TimedOut = true
+			out = append(out, res)
+			continue
+		}
+		var addrs []netip.Addr
+		var rcode dnswire.RCode
+		var err error
+		if c.Type == dnswire.TypeAAAA {
+			addrs, rcode, err = p.Resolver.ResolveAAAA(ctx, c.Domain, p.Addr)
+		} else {
+			addrs, rcode, err = p.Resolver.ResolveA(ctx, c.Domain, p.Addr)
+		}
+		switch {
+		case errors.Is(err, dnsserver.ErrTimeout):
+			res.TimedOut = true
+		case err != nil:
+			return nil, err
+		default:
+			res.Addrs = addrs
+			res.RCode = rcode
+			for _, a := range addrs {
+				if a == resolver.HijackAddr {
+					res.Hijacked = true
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out, ctx.Err()
+}
+
+// DistinctAddrs collects the distinct addresses across results.
+func DistinctAddrs(results []MeasurementResult) []netip.Addr {
+	set := map[netip.Addr]bool{}
+	for _, r := range results {
+		for _, a := range r.Addrs {
+			set[a] = true
+		}
+	}
+	out := make([]netip.Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// RunDirect queries the authoritative server directly from every probe
+// (the paper's second AAAA measurement mode), bypassing resolvers. Each
+// probe's own identity keys the answer.
+func (c Campaign) RunDirect(ctx context.Context, pop *Population) ([]MeasurementResult, error) {
+	out := make([]MeasurementResult, 0, len(pop.Probes))
+	for i := range pop.Probes {
+		p := &pop.Probes[i]
+		res := MeasurementResult{ProbeID: p.ID}
+		if p.TimeoutProne {
+			res.TimedOut = true
+			out = append(out, res)
+			continue
+		}
+		src := p.Addr
+		if c.Type == dnswire.TypeAAAA {
+			src = probeV6Identity(uint64(p.ID))
+		}
+		mt := &dnsserver.MemTransport{Handler: pop.handler, Source: src}
+		q := dnswire.NewQuery(uint16(p.ID), c.Domain, c.Type)
+		resp, err := mt.Exchange(ctx, q)
+		if errors.Is(err, dnsserver.ErrTimeout) {
+			res.TimedOut = true
+			out = append(out, res)
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.RCode = resp.Header.RCode
+		for _, rec := range resp.Answers {
+			switch rec.Type {
+			case dnswire.TypeA:
+				res.Addrs = append(res.Addrs, rec.A)
+			case dnswire.TypeAAAA:
+				res.Addrs = append(res.Addrs, rec.AAAA)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, ctx.Err()
+}
+
+// probeV6Identity derives the probe's IPv6 source identity.
+func probeV6Identity(id uint64) netip.Addr {
+	var b [16]byte
+	b[0] = 0xfd
+	b[1] = 0x9e
+	binary.BigEndian.PutUint64(b[8:], iputil.Mix(id, 0x9E0B))
+	return netip.AddrFrom16(b)
+}
+
+// IdentifyResolvers runs the whoami campaign: each probe resolves the
+// whoami domain and learns its resolver's outward identity. It returns
+// the share (per mille) of probes behind the four big public resolvers.
+func IdentifyResolvers(pop *Population) int {
+	publics := map[string]bool{}
+	for _, pr := range resolver.PublicResolvers {
+		publics[pr.Name] = true
+	}
+	n := 0
+	for _, p := range pop.Probes {
+		if publics[p.ResolverName] {
+			n++
+		}
+	}
+	return n * 1000 / len(pop.Probes)
+}

@@ -1,0 +1,219 @@
+// Package bgp models the parts of interdomain routing the measurement
+// study needs: a global routing table with longest-prefix-match origin-AS
+// attribution, prefix enumeration per AS, and a monthly visibility history
+// used to date the first appearance of an AS (the paper dates AS36183,
+// the Akamai private-relay AS, to June 2021).
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String renders the ASN in the conventional "AS714" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// Announcement is one routed prefix with its origin AS.
+type Announcement struct {
+	Prefix netip.Prefix
+	Origin ASN
+}
+
+// Table is a BGP routing table supporting concurrent lookups after build.
+type Table struct {
+	mu     sync.RWMutex
+	trie   iputil.Trie[ASN]
+	byAS   map[ASN][]netip.Prefix
+	counts struct{ v4, v6 int }
+}
+
+// NewTable returns an empty routing table.
+func NewTable() *Table {
+	return &Table{byAS: make(map[ASN][]netip.Prefix)}
+}
+
+// Announce inserts a prefix announcement. Re-announcing the same prefix
+// with a different origin replaces the previous origin (no MOAS modeling).
+func (t *Table) Announce(p netip.Prefix, origin ASN) {
+	p = iputil.CanonicalPrefix(p)
+	if !p.IsValid() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if prev, ok := t.trie.Get(p); ok {
+		// Replace: remove from the previous AS's list.
+		lst := t.byAS[prev]
+		for i, q := range lst {
+			if q == p {
+				t.byAS[prev] = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+		t.trie.Insert(p, origin)
+		t.byAS[origin] = append(t.byAS[origin], p)
+		return
+	}
+	t.trie.Insert(p, origin)
+	t.byAS[origin] = append(t.byAS[origin], p)
+	if p.Addr().Is4() {
+		t.counts.v4++
+	} else {
+		t.counts.v6++
+	}
+}
+
+// Origin returns the origin AS of the most-specific prefix covering addr.
+func (t *Table) Origin(addr netip.Addr) (ASN, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, as, ok := t.trie.Lookup(addr)
+	return as, ok
+}
+
+// Route returns the matched prefix and origin for addr.
+func (t *Table) Route(addr netip.Addr) (netip.Prefix, ASN, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.trie.Lookup(addr)
+}
+
+// IsRouted reports whether addr falls inside any announced prefix. The ECS
+// scanner uses this to skip unrouted space (an ethics measure in §7).
+func (t *Table) IsRouted(addr netip.Addr) bool {
+	_, ok := t.Origin(addr)
+	return ok
+}
+
+// PrefixesOf returns the prefixes originated by as, sorted.
+func (t *Table) PrefixesOf(as ASN) []netip.Prefix {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := append([]netip.Prefix(nil), t.byAS[as]...)
+	sortPrefixes(out)
+	return out
+}
+
+// PrefixCounts returns the number of announced IPv4 and IPv6 prefixes.
+func (t *Table) PrefixCounts() (v4, v6 int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.counts.v4, t.counts.v6
+}
+
+// Len returns the total number of announcements.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.trie.Len()
+}
+
+// Walk visits all announcements, stopping early if fn returns false.
+func (t *Table) Walk(fn func(Announcement) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.trie.Walk(func(p netip.Prefix, as ASN) bool {
+		return fn(Announcement{Prefix: p, Origin: as})
+	})
+}
+
+// CoveringPrefix returns the announced BGP prefix containing p (the prefix
+// matched by p's network address) — used to aggregate egress subnets into
+// routed BGP prefixes as in Table 3.
+func (t *Table) CoveringPrefix(p netip.Prefix) (netip.Prefix, ASN, bool) {
+	return t.Route(iputil.CanonicalPrefix(p).Addr())
+}
+
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
+}
+
+// Month is a calendar month used by the visibility history.
+type Month struct {
+	Year int
+	M    int // 1..12
+}
+
+// String renders the month as YYYY-MM.
+func (m Month) String() string { return fmt.Sprintf("%04d-%02d", m.Year, m.M) }
+
+// Before reports whether m is strictly earlier than o.
+func (m Month) Before(o Month) bool {
+	if m.Year != o.Year {
+		return m.Year < o.Year
+	}
+	return m.M < o.M
+}
+
+// Next returns the following calendar month.
+func (m Month) Next() Month {
+	if m.M == 12 {
+		return Month{m.Year + 1, 1}
+	}
+	return Month{m.Year, m.M + 1}
+}
+
+// History records which ASes were visible in the global table per month,
+// mirroring the paper's monthly BGP archive examination (2016–2022).
+type History struct {
+	mu      sync.RWMutex
+	visible map[Month]map[ASN]bool
+	months  []Month
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History {
+	return &History{visible: make(map[Month]map[ASN]bool)}
+}
+
+// Record marks as visible in month m.
+func (h *History) Record(m Month, as ASN) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	set, ok := h.visible[m]
+	if !ok {
+		set = make(map[ASN]bool)
+		h.visible[m] = set
+		h.months = append(h.months, m)
+		sort.Slice(h.months, func(i, j int) bool { return h.months[i].Before(h.months[j]) })
+	}
+	set[as] = true
+}
+
+// Visible reports whether as was visible in month m.
+func (h *History) Visible(m Month, as ASN) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.visible[m][as]
+}
+
+// FirstSeen returns the earliest month in which as was visible.
+func (h *History) FirstSeen(as ASN) (Month, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, m := range h.months {
+		if h.visible[m][as] {
+			return m, true
+		}
+	}
+	return Month{}, false
+}
+
+// Months returns the recorded months in chronological order.
+func (h *History) Months() []Month {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return append([]Month(nil), h.months...)
+}

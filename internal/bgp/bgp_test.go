@@ -1,0 +1,174 @@
+package bgp
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+)
+
+func TestASNString(t *testing.T) {
+	if ASN(714).String() != "AS714" {
+		t.Fatalf("ASN.String = %s", ASN(714).String())
+	}
+}
+
+func TestAnnounceAndOrigin(t *testing.T) {
+	tbl := NewTable()
+	tbl.Announce(netip.MustParsePrefix("17.0.0.0/8"), 714)
+	tbl.Announce(netip.MustParsePrefix("23.32.0.0/11"), 36183)
+
+	as, ok := tbl.Origin(netip.MustParseAddr("17.248.1.1"))
+	if !ok || as != 714 {
+		t.Fatalf("Origin = %v,%v want AS714", as, ok)
+	}
+	if _, ok := tbl.Origin(netip.MustParseAddr("9.9.9.9")); ok {
+		t.Fatal("unrouted address attributed")
+	}
+}
+
+func TestLongestMatchWins(t *testing.T) {
+	tbl := NewTable()
+	tbl.Announce(netip.MustParsePrefix("23.0.0.0/8"), 20940)
+	tbl.Announce(netip.MustParsePrefix("23.32.0.0/11"), 36183)
+	as, _ := tbl.Origin(netip.MustParseAddr("23.32.5.5"))
+	if as != 36183 {
+		t.Fatalf("more-specific lost: %v", as)
+	}
+	as, _ = tbl.Origin(netip.MustParseAddr("23.200.0.1"))
+	if as != 20940 {
+		t.Fatalf("covering prefix lost: %v", as)
+	}
+}
+
+func TestReannounceMovesPrefix(t *testing.T) {
+	tbl := NewTable()
+	p := netip.MustParsePrefix("198.51.100.0/24")
+	tbl.Announce(p, 100)
+	tbl.Announce(p, 200)
+	if as, _ := tbl.Origin(netip.MustParseAddr("198.51.100.1")); as != 200 {
+		t.Fatalf("origin after re-announce = %v", as)
+	}
+	if got := tbl.PrefixesOf(100); len(got) != 0 {
+		t.Fatalf("old AS still lists prefix: %v", got)
+	}
+	if got := tbl.PrefixesOf(200); len(got) != 1 || got[0] != p {
+		t.Fatalf("new AS list: %v", got)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestInvalidPrefixIgnored(t *testing.T) {
+	tbl := NewTable()
+	tbl.Announce(netip.Prefix{}, 1)
+	if tbl.Len() != 0 {
+		t.Fatal("invalid prefix was stored")
+	}
+}
+
+func TestPrefixCountsAndWalk(t *testing.T) {
+	tbl := NewTable()
+	tbl.Announce(netip.MustParsePrefix("10.0.0.0/8"), 1)
+	tbl.Announce(netip.MustParsePrefix("2001:db8::/32"), 1)
+	tbl.Announce(netip.MustParsePrefix("192.0.2.0/24"), 2)
+	v4, v6 := tbl.PrefixCounts()
+	if v4 != 2 || v6 != 1 {
+		t.Fatalf("counts = %d/%d", v4, v6)
+	}
+	n := 0
+	tbl.Walk(func(a Announcement) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("Walk visited %d", n)
+	}
+}
+
+func TestIsRoutedForScanner(t *testing.T) {
+	tbl := NewTable()
+	tbl.Announce(netip.MustParsePrefix("203.0.113.0/24"), 64500)
+	if !tbl.IsRouted(netip.MustParseAddr("203.0.113.200")) {
+		t.Fatal("routed address reported unrouted")
+	}
+	if tbl.IsRouted(netip.MustParseAddr("203.0.114.1")) {
+		t.Fatal("unrouted address reported routed")
+	}
+}
+
+func TestCoveringPrefix(t *testing.T) {
+	tbl := NewTable()
+	bgpPfx := netip.MustParsePrefix("172.224.0.0/12")
+	tbl.Announce(bgpPfx, 36183)
+	got, as, ok := tbl.CoveringPrefix(netip.MustParsePrefix("172.224.5.0/24"))
+	if !ok || got != bgpPfx || as != 36183 {
+		t.Fatalf("CoveringPrefix = %v,%v,%v", got, as, ok)
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	tbl := NewTable()
+	for i := 0; i < 64; i++ {
+		tbl.Announce(netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(i), 0, 0, 0}), 8), ASN(i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				addr := netip.AddrFrom4([4]byte{byte(i % 64), 1, 2, 3})
+				if as, ok := tbl.Origin(addr); !ok || as != ASN(i%64) {
+					t.Errorf("goroutine %d: Origin(%v) = %v,%v", g, addr, as, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMonthOrdering(t *testing.T) {
+	a := Month{2021, 6}
+	b := Month{2021, 7}
+	c := Month{2022, 1}
+	if !a.Before(b) || !b.Before(c) || c.Before(a) {
+		t.Fatal("Month.Before broken")
+	}
+	if a.Next() != b {
+		t.Fatalf("Next = %v", a.Next())
+	}
+	if (Month{2021, 12}).Next() != (Month{2022, 1}) {
+		t.Fatal("December rollover broken")
+	}
+	if a.String() != "2021-06" {
+		t.Fatalf("String = %s", a.String())
+	}
+}
+
+func TestHistoryFirstSeen(t *testing.T) {
+	h := NewHistory()
+	// AS36183 appears in June 2021 — the paper's dating of the PR AS.
+	for m := (Month{2016, 1}); m.Before(Month{2022, 7}); m = m.Next() {
+		h.Record(m, 714) // Apple always visible
+		if !m.Before(Month{2021, 6}) {
+			h.Record(m, 36183)
+		}
+	}
+	first, ok := h.FirstSeen(36183)
+	if !ok || first != (Month{2021, 6}) {
+		t.Fatalf("FirstSeen(36183) = %v,%v want 2021-06", first, ok)
+	}
+	first, _ = h.FirstSeen(714)
+	if first != (Month{2016, 1}) {
+		t.Fatalf("FirstSeen(714) = %v", first)
+	}
+	if _, ok := h.FirstSeen(99999); ok {
+		t.Fatal("unknown AS has FirstSeen")
+	}
+	if !h.Visible(Month{2021, 6}, 36183) || h.Visible(Month{2021, 5}, 36183) {
+		t.Fatal("Visible boundary wrong")
+	}
+	months := h.Months()
+	if len(months) == 0 || months[0] != (Month{2016, 1}) {
+		t.Fatalf("Months[0] = %v", months)
+	}
+}

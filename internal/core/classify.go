@@ -1,0 +1,92 @@
+package core
+
+import (
+	"net/netip"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+// TrafficClass labels one observed flow endpoint pair for a passive
+// network observer (§6: the ingress dataset lets operators detect relay
+// traffic; the published egress list identifies relay-originated flows).
+type TrafficClass int
+
+// Flow classifications.
+const (
+	// ClassUnrelated is ordinary traffic.
+	ClassUnrelated TrafficClass = iota
+	// ClassToIngress is a client talking into the relay network: its
+	// destination is a known ingress relay. The observer learns that the
+	// client uses Private Relay but nothing about the visited service.
+	ClassToIngress
+	// ClassFromEgress is relay traffic arriving at a server: the source
+	// is inside a published egress subnet. IDSs should expect rotating
+	// source addresses within these ranges.
+	ClassFromEgress
+)
+
+// String names the class.
+func (c TrafficClass) String() string {
+	switch c {
+	case ClassToIngress:
+		return "to-ingress"
+	case ClassFromEgress:
+		return "from-egress"
+	}
+	return "unrelated"
+}
+
+// Classifier detects relay traffic from the two public datasets.
+type Classifier struct {
+	ingress map[netip.Addr]bgp.ASN
+	egress  iputil.Trie[bgp.ASN]
+}
+
+// NewClassifier builds a classifier from an ingress dataset and the
+// egress subnet list (prefix → operator AS).
+func NewClassifier(ingress *Dataset, egressSubnets map[netip.Prefix]bgp.ASN) *Classifier {
+	c := &Classifier{ingress: make(map[netip.Addr]bgp.ASN)}
+	if ingress != nil {
+		for addr, as := range ingress.Addresses {
+			c.ingress[addr] = as
+		}
+	}
+	for pfx, as := range egressSubnets {
+		c.egress.Insert(pfx, as)
+	}
+	return c
+}
+
+// AddIngress merges additional ingress addresses (e.g. the fallback
+// plane's dataset or a newer scan).
+func (c *Classifier) AddIngress(ds *Dataset) {
+	for addr, as := range ds.Addresses {
+		c.ingress[addr] = as
+	}
+}
+
+// Classify labels a flow given by source and destination address, as seen
+// by a passive observer. Operator attribution (when matched) is returned
+// alongside.
+func (c *Classifier) Classify(src, dst netip.Addr) (TrafficClass, bgp.ASN) {
+	if as, ok := c.ingress[iputil.Canonical(dst)]; ok {
+		return ClassToIngress, as
+	}
+	if _, as, ok := c.egress.Lookup(src); ok {
+		return ClassFromEgress, as
+	}
+	return ClassUnrelated, 0
+}
+
+// IsIngress reports whether addr is a known ingress relay.
+func (c *Classifier) IsIngress(addr netip.Addr) bool {
+	_, ok := c.ingress[iputil.Canonical(addr)]
+	return ok
+}
+
+// IsEgress reports whether addr falls in a published egress subnet.
+func (c *Classifier) IsEgress(addr netip.Addr) bool {
+	_, _, ok := c.egress.Lookup(addr)
+	return ok
+}

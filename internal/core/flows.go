@@ -1,0 +1,102 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+)
+
+// Passive flow-log analysis (§6, "Passive Measurements and iCloud
+// Private Relay"): an ISP or IXP sees flows, not visits. Once clients
+// adopt the relay, ingress relays surface as highly active destinations
+// while the visited services disappear from view. FlowReport quantifies
+// both effects for a given flow log.
+
+// Flow is one aggregated flow record as a passive observer keeps it.
+type Flow struct {
+	Src, Dst netip.Addr
+	Bytes    int64
+}
+
+// FlowReport summarizes a flow log against the relay datasets.
+type FlowReport struct {
+	Flows int
+	Bytes int64
+
+	// Per traffic class.
+	ToIngress  int
+	FromEgress int
+	Unrelated  int
+
+	// BytesToIngress is the volume whose true destination is invisible —
+	// the service-level attribution loss the paper warns about.
+	BytesToIngress int64
+
+	// TopDestinations lists destination addresses by flow count,
+	// descending. IngressRank is the best rank an ingress relay achieves
+	// (1 = the busiest destination in the log), 0 if none appears.
+	TopDestinations []DstCount
+	IngressRank     int
+
+	// OperatorFlows counts relay flows per operator AS.
+	OperatorFlows map[bgp.ASN]int
+}
+
+// DstCount pairs a destination with its flow count.
+type DstCount struct {
+	Dst     netip.Addr
+	Flows   int
+	Ingress bool
+}
+
+// HiddenByteShare returns the share of bytes whose service-level
+// destination is hidden behind the relay.
+func (r *FlowReport) HiddenByteShare() float64 {
+	if r.Bytes == 0 {
+		return 0
+	}
+	return float64(r.BytesToIngress) / float64(r.Bytes)
+}
+
+// AnalyzeFlows classifies a flow log.
+func (c *Classifier) AnalyzeFlows(flows []Flow) *FlowReport {
+	report := &FlowReport{OperatorFlows: make(map[bgp.ASN]int)}
+	perDst := map[netip.Addr]int{}
+	for _, f := range flows {
+		report.Flows++
+		report.Bytes += f.Bytes
+		perDst[f.Dst]++
+		class, as := c.Classify(f.Src, f.Dst)
+		switch class {
+		case ClassToIngress:
+			report.ToIngress++
+			report.BytesToIngress += f.Bytes
+			report.OperatorFlows[as]++
+		case ClassFromEgress:
+			report.FromEgress++
+			report.OperatorFlows[as]++
+		default:
+			report.Unrelated++
+		}
+	}
+	report.TopDestinations = make([]DstCount, 0, len(perDst))
+	for dst, n := range perDst {
+		report.TopDestinations = append(report.TopDestinations, DstCount{
+			Dst: dst, Flows: n, Ingress: c.IsIngress(dst),
+		})
+	}
+	sort.Slice(report.TopDestinations, func(i, j int) bool {
+		if report.TopDestinations[i].Flows != report.TopDestinations[j].Flows {
+			return report.TopDestinations[i].Flows > report.TopDestinations[j].Flows
+		}
+		return report.TopDestinations[i].Dst.Less(report.TopDestinations[j].Dst)
+	})
+	for rank, d := range report.TopDestinations {
+		if d.Ingress {
+			report.IngressRank = rank + 1
+			break
+		}
+	}
+	return report
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+)
+
+// Dataset persistence: the paper publishes its collected ingress address
+// datasets for other researchers. The format is a line-oriented CSV —
+// `address,asn` rows preceded by `# key value` metadata comments — that
+// diffing tools and spreadsheets both handle.
+
+// Save serializes the dataset.
+func (ds *Dataset) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# domain %s\n", ds.Domain)
+	fmt.Fprintf(bw, "# queries %d\n", ds.Stats.QueriesSent)
+	fmt.Fprintf(bw, "# skipped %d\n", ds.Stats.SubnetsSkipped)
+	fmt.Fprintf(bw, "# timeouts %d\n", ds.Stats.Timeouts)
+	// Stable order: sorted addresses.
+	addrs := make([]netip.Addr, 0, len(ds.Addresses))
+	for a := range ds.Addresses {
+		addrs = append(addrs, a)
+	}
+	sortAddrs(addrs)
+	for _, a := range addrs {
+		fmt.Fprintf(bw, "%s,%d\n", a, uint32(ds.Addresses[a]))
+	}
+	return bw.Flush()
+}
+
+// ReadDataset parses a dataset written by Save. Serving statistics are
+// not persisted (they are derivable only during the scan); the address
+// set and metadata round-trip.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	ds := &Dataset{
+		Addresses: make(map[netip.Addr]bgp.ASN),
+		Serving:   make(map[bgp.ASN]*ServingStats),
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(strings.TrimPrefix(text, "#"))
+			if len(fields) != 2 {
+				continue
+			}
+			switch fields[0] {
+			case "domain":
+				ds.Domain = fields[1]
+			case "queries":
+				ds.Stats.QueriesSent, _ = strconv.ParseInt(fields[1], 10, 64)
+			case "skipped":
+				ds.Stats.SubnetsSkipped, _ = strconv.ParseInt(fields[1], 10, 64)
+			case "timeouts":
+				ds.Stats.Timeouts, _ = strconv.ParseInt(fields[1], 10, 64)
+			}
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("core: dataset line %d: want addr,asn", line)
+		}
+		addr, err := netip.ParseAddr(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("core: dataset line %d: %w", line, err)
+		}
+		asn, err := strconv.ParseUint(parts[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("core: dataset line %d: %w", line, err)
+		}
+		ds.Addresses[addr] = bgp.ASN(asn)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

@@ -1,0 +1,377 @@
+// Package core implements the paper's primary contribution: ECS-based
+// enumeration of iCloud Private Relay ingress relays (§3, §4.1), the
+// resulting ingress address dataset with client-AS attribution (Tables 1
+// and 2), and a passive relay-traffic classifier built from the datasets
+// (§6's suggestion to network operators).
+//
+// The scanner iterates /24 client subnets over the routed IPv4 space,
+// attaches each as an EDNS0 Client Subnet option to A queries for the
+// relay domains, and collects the returned ingress addresses. Two ethics
+// measures from §7 are implemented faithfully: unrouted space is never
+// queried, and answers whose ECS scope covers more than a /24 suppress
+// all further queries inside that scope.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/dnsserver"
+	"github.com/relay-networks/privaterelay/internal/dnswire"
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+// ScanConfig configures one ECS enumeration scan.
+type ScanConfig struct {
+	// Exchanger carries queries to the authoritative server.
+	Exchanger dnsserver.Exchanger
+	// Domain is the service domain to enumerate (mask.icloud.com for the
+	// QUIC plane, mask-h2.icloud.com for the TCP fallback).
+	Domain string
+	// QType is the record type to query (default TypeA). AAAA scans are
+	// supported but futile by design: the authoritative answers IPv6
+	// with scope 0, so one vantage sees one record set (§3).
+	QType dnswire.Type
+	// Universe lists the routed IPv4 prefixes to cover. Unrouted space
+	// is implicitly skipped by not being listed.
+	Universe []netip.Prefix
+	// Attribution resolves discovered addresses and client subnets to
+	// origin ASes.
+	Attribution *bgp.Table
+	// RespectScope enables the §7 optimization: answers with a scope
+	// shorter than /24 suppress further queries inside the scope.
+	// The paper's scan always enables this; disabling it is the ablation.
+	RespectScope bool
+	// Concurrency is the number of parallel query workers (default 8).
+	Concurrency int
+	// Retries is the number of re-attempts after a timeout (default 1).
+	Retries int
+	// QPS rate-limits the client side; zero disables limiting.
+	QPS float64
+}
+
+// ScanStats counts scanner activity.
+type ScanStats struct {
+	QueriesSent    int64
+	SubnetsTotal   int64 // /24s in the universe
+	SubnetsSkipped int64 // suppressed by a covering scope
+	Timeouts       int64 // queries lost after retries
+	Errors         int64 // non-timeout failures
+	Elapsed        time.Duration
+}
+
+// Dataset is the result of one scan: the ingress addresses with AS
+// attribution, and per-client-AS serving statistics.
+type Dataset struct {
+	Domain string
+	// Addresses maps each discovered ingress address to its origin AS.
+	Addresses map[netip.Addr]bgp.ASN
+	// Serving maps each client AS to its per-operator served /24 counts.
+	Serving map[bgp.ASN]*ServingStats
+	// Stats holds scanner counters.
+	Stats ScanStats
+}
+
+// ServingStats accumulates how a client AS's subnets are served.
+type ServingStats struct {
+	// SubnetsByOperator counts served /24s per ingress operator AS.
+	SubnetsByOperator map[bgp.ASN]int64
+}
+
+// TotalSubnets sums served /24s over operators.
+func (s *ServingStats) TotalSubnets() int64 {
+	var n int64
+	for _, c := range s.SubnetsByOperator {
+		n += c
+	}
+	return n
+}
+
+// Operators returns the set of operators serving this AS.
+func (s *ServingStats) Operators() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(s.SubnetsByOperator))
+	for as := range s.SubnetsByOperator {
+		out = append(out, as)
+	}
+	return out
+}
+
+// ErrNoExchanger is returned for scans without a transport.
+var ErrNoExchanger = errors.New("core: scan config has no exchanger")
+
+// Scan runs the enumeration and returns the dataset. The scan is
+// deterministic for in-memory transports: subnets are visited in address
+// order per universe prefix (workers race only on unordered set inserts).
+func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
+	if cfg.Exchanger == nil {
+		return nil, ErrNoExchanger
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.QType == 0 {
+		cfg.QType = dnswire.TypeA
+	}
+	start := time.Now()
+	ds := &Dataset{
+		Domain:    dnswire.CanonicalName(cfg.Domain),
+		Addresses: make(map[netip.Addr]bgp.ASN),
+		Serving:   make(map[bgp.ASN]*ServingStats),
+	}
+
+	var (
+		mu          sync.Mutex // guards ds, skip and globalScope
+		globalScope bool       // a scope-0 answer covers the whole space
+		skip        iputil.Trie[struct{}]
+		limiter     = newQPSLimiter(cfg.QPS)
+		work        = make(chan netip.Prefix, 4*cfg.Concurrency)
+		wg          sync.WaitGroup
+		scanErr     error
+		errOnce     sync.Once
+	)
+
+	worker := func() {
+		defer wg.Done()
+		for subnet := range work {
+			if err := ctx.Err(); err != nil {
+				errOnce.Do(func() { scanErr = err })
+				continue
+			}
+			mu.Lock()
+			_, _, skipped := skip.Lookup(subnet.Addr())
+			skipped = skipped || globalScope
+			mu.Unlock()
+			if skipped {
+				mu.Lock()
+				ds.Stats.SubnetsSkipped++
+				// The covering answer applies here too: account the
+				// subnet to its client AS under the operator recorded
+				// with the scope entry.
+				mu.Unlock()
+				continue
+			}
+			limiter.wait()
+			resp, err := exchangeWithRetry(ctx, cfg, subnet)
+			mu.Lock()
+			ds.Stats.QueriesSent++ // retries counted inside exchangeWithRetry
+			if err != nil {
+				if errors.Is(err, dnsserver.ErrTimeout) {
+					ds.Stats.Timeouts++
+				} else {
+					ds.Stats.Errors++
+				}
+				mu.Unlock()
+				continue
+			}
+			ds.recordLocked(cfg, subnet, resp, &skip, &globalScope)
+			mu.Unlock()
+		}
+	}
+
+	wg.Add(cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		go worker()
+	}
+	total := int64(0)
+	for _, p := range cfg.Universe {
+		if !p.Addr().Is4() {
+			continue
+		}
+		iputil.Subnets(p, 24, func(s netip.Prefix) bool {
+			total++
+			select {
+			case work <- s:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	close(work)
+	wg.Wait()
+	ds.Stats.SubnetsTotal = total
+	ds.Stats.Elapsed = time.Since(start)
+	if scanErr != nil {
+		return ds, scanErr
+	}
+	return ds, ctx.Err()
+}
+
+// exchangeWithRetry sends one ECS query with retries on timeout.
+func exchangeWithRetry(ctx context.Context, cfg ScanConfig, subnet netip.Prefix) (*dnswire.Message, error) {
+	id := uint16(iputil.HashPrefix(subnet))
+	q := dnswire.NewQuery(id, cfg.Domain, cfg.QType).WithECS(subnet)
+	var lastErr error
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		resp, err := cfg.Exchanger.Exchange(ctx, q)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, dnsserver.ErrTimeout) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// recordLocked folds one response into the dataset. Caller holds mu.
+func (ds *Dataset) recordLocked(cfg ScanConfig, subnet netip.Prefix, resp *dnswire.Message, skip *iputil.Trie[struct{}], globalScope *bool) {
+	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answers) == 0 {
+		return
+	}
+	var operator bgp.ASN
+	for _, rec := range resp.Answers {
+		var addr netip.Addr
+		switch rec.Type {
+		case dnswire.TypeA:
+			addr = rec.A
+		case dnswire.TypeAAAA:
+			addr = rec.AAAA
+		default:
+			continue
+		}
+		as := bgp.ASN(0)
+		if cfg.Attribution != nil {
+			as, _ = cfg.Attribution.Origin(addr)
+		}
+		ds.Addresses[addr] = as
+		operator = as // all records of one answer share an AS (§4.1)
+	}
+	// A scope of zero declares the answer valid for the entire address
+	// space — nothing more can be learned from further ECS queries.
+	if cfg.RespectScope && resp.Edns != nil && resp.Edns.ClientSubnet != nil &&
+		resp.Edns.ClientSubnet.ScopePrefixLen == 0 {
+		*globalScope = true
+	}
+
+	// Serving accounting: the answer covers scopeCount /24s of the
+	// client AS (scope < 24 means one answer stands for many subnets).
+	coveredSubnets := int64(1)
+	if cfg.RespectScope && resp.Edns != nil && resp.Edns.ClientSubnet != nil {
+		cs := resp.Edns.ClientSubnet
+		if cs.ScopePrefixLen > 0 && cs.ScopePrefixLen < 24 {
+			scopePfx := cs.ScopePrefix()
+			if skip.Insert(scopePfx, struct{}{}) {
+				// First answer for this scope accounts for every /24 it
+				// covers (including this one).
+				coveredSubnets = int64(iputil.SubnetCount(scopePfx, 24))
+			} else {
+				// A concurrent worker already accounted the whole scope.
+				coveredSubnets = 0
+			}
+		}
+	}
+	if cfg.Attribution != nil {
+		if clientAS, ok := cfg.Attribution.Origin(subnet.Addr()); ok {
+			st := ds.Serving[clientAS]
+			if st == nil {
+				st = &ServingStats{SubnetsByOperator: make(map[bgp.ASN]int64)}
+				ds.Serving[clientAS] = st
+			}
+			st.SubnetsByOperator[operator] += coveredSubnets
+		}
+	}
+}
+
+// AddressesOf returns the discovered addresses originated by as, sorted.
+func (ds *Dataset) AddressesOf(as bgp.ASN) []netip.Addr {
+	var out []netip.Addr
+	for addr, origin := range ds.Addresses {
+		if origin == as {
+			out = append(out, addr)
+		}
+	}
+	sortAddrs(out)
+	return out
+}
+
+// OperatorCounts returns the number of discovered addresses per AS.
+func (ds *Dataset) OperatorCounts() map[bgp.ASN]int {
+	out := make(map[bgp.ASN]int)
+	for _, as := range ds.Addresses {
+		out[as]++
+	}
+	return out
+}
+
+// Diff compares two datasets: addresses added and removed from a to b.
+func Diff(a, b *Dataset) (added, removed []netip.Addr) {
+	for addr := range b.Addresses {
+		if _, ok := a.Addresses[addr]; !ok {
+			added = append(added, addr)
+		}
+	}
+	for addr := range a.Addresses {
+		if _, ok := b.Addresses[addr]; !ok {
+			removed = append(removed, addr)
+		}
+	}
+	sortAddrs(added)
+	sortAddrs(removed)
+	return added, removed
+}
+
+// GrowthPercent returns the relative address-count growth from a to b.
+func GrowthPercent(a, b *Dataset) float64 {
+	if len(a.Addresses) == 0 {
+		return 0
+	}
+	return (float64(len(b.Addresses)) - float64(len(a.Addresses))) / float64(len(a.Addresses)) * 100
+}
+
+func sortAddrs(addrs []netip.Addr) {
+	for i := 1; i < len(addrs); i++ {
+		for j := i; j > 0 && addrs[j].Less(addrs[j-1]); j-- {
+			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
+		}
+	}
+}
+
+// qpsLimiter is a minimal client-side pacer.
+type qpsLimiter struct {
+	interval time.Duration
+	mu       sync.Mutex
+	next     time.Time
+}
+
+func newQPSLimiter(qps float64) *qpsLimiter {
+	if qps <= 0 {
+		return &qpsLimiter{}
+	}
+	return &qpsLimiter{interval: time.Duration(float64(time.Second) / qps)}
+}
+
+func (l *qpsLimiter) wait() {
+	if l.interval == 0 {
+		return
+	}
+	l.mu.Lock()
+	now := time.Now()
+	if l.next.Before(now) {
+		l.next = now
+	}
+	sleep := l.next.Sub(now)
+	l.next = l.next.Add(l.interval)
+	l.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+}
+
+// String summarizes the dataset.
+func (ds *Dataset) String() string {
+	return fmt.Sprintf("dataset{%s: %d addrs, %d client ASes, %d queries}",
+		ds.Domain, len(ds.Addresses), len(ds.Serving), ds.Stats.QueriesSent)
+}

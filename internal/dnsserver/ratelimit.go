@@ -1,0 +1,62 @@
+package dnsserver
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-source token bucket. The paper's authoritative
+// servers rate-limit aggressively enough that a full ECS scan stretches to
+// 40 hours; the simulator reproduces the behaviour (queries over the limit
+// are silently dropped, surfacing as client timeouts).
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+	now     func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter granting rate queries/second with the
+// given burst per source key. A nil clock uses time.Now.
+func NewRateLimiter(rate, burst float64, clock func() time.Time) *RateLimiter {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     clock,
+	}
+}
+
+// Allow reports whether a query from key may be served now.
+func (rl *RateLimiter) Allow(key string) bool {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b, ok := rl.buckets[key]
+	if !ok {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * rl.rate
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}

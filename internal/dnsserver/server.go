@@ -1,0 +1,233 @@
+// Package dnsserver implements the authoritative DNS infrastructure the
+// measurement study queries: the Route 53-style ECS-aware name server for
+// the iCloud Private Relay domains, and a whoami service in the style of
+// whoami.akamai.net that reveals the requesting resolver's address.
+//
+// Two transports are provided: a real UDP server speaking dnswire's wire
+// format on a socket, and an in-memory transport for large-scale
+// simulation where socket round-trips would dominate runtime. Both paths
+// share the same Handler, so behaviour is identical.
+package dnsserver
+
+import (
+	"net/netip"
+	"sync/atomic"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/dnswire"
+	"github.com/relay-networks/privaterelay/internal/iputil"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+)
+
+// The service's domain names (§2 of the paper).
+const (
+	MaskDomain   = "mask.icloud.com."    // QUIC ingress
+	MaskH2Domain = "mask-h2.icloud.com." // TCP-fallback ingress
+	WhoamiDomain = "whoami.akamai.example."
+)
+
+// Handler answers a single DNS query arriving from the given source.
+// A nil response means "drop" (the client sees a timeout).
+type Handler interface {
+	Handle(query *dnswire.Message, from netip.Addr) *dnswire.Message
+}
+
+// Stats counts server activity; all fields are updated atomically.
+type Stats struct {
+	Queries     atomic.Int64
+	Answered    atomic.Int64
+	RateLimited atomic.Int64
+	NXDomain    atomic.Int64
+}
+
+// AuthServer is the authoritative name server for the Private Relay zone.
+type AuthServer struct {
+	world *netsim.World
+	// month pins which scan month's fleet the server answers from.
+	month bgp.Month
+	// limiter is optional; nil disables rate limiting.
+	limiter *RateLimiter
+	// Stats exposes counters for scan instrumentation.
+	Stats Stats
+}
+
+// NewAuthServer builds the authoritative server backed by a world,
+// answering with the fleet of the given month. limiter may be nil.
+func NewAuthServer(w *netsim.World, month bgp.Month, limiter *RateLimiter) *AuthServer {
+	return &AuthServer{world: w, month: month, limiter: limiter}
+}
+
+// SetMonth repoints the server at another scan month's fleet (the
+// longitudinal scans reuse one server).
+func (s *AuthServer) SetMonth(m bgp.Month) { s.month = m }
+
+// Handle implements Handler.
+func (s *AuthServer) Handle(query *dnswire.Message, from netip.Addr) *dnswire.Message {
+	s.Stats.Queries.Add(1)
+	if s.limiter != nil && !s.limiter.Allow(from.String()) {
+		s.Stats.RateLimited.Add(1)
+		return nil // dropped: client times out
+	}
+	if len(query.Questions) != 1 {
+		return s.failure(query, dnswire.RCodeFormErr)
+	}
+	q := query.Questions[0]
+	name := dnswire.CanonicalName(q.Name)
+
+	var proto netsim.Proto
+	switch name {
+	case MaskDomain:
+		proto = netsim.ProtoDefault
+	case MaskH2Domain:
+		proto = netsim.ProtoFallback
+	case WhoamiDomain:
+		return s.whoami(query, from)
+	default:
+		s.Stats.NXDomain.Add(1)
+		return s.failure(query, dnswire.RCodeNXDomain)
+	}
+
+	switch q.Type {
+	case dnswire.TypeA:
+		return s.answerA(query, from, proto)
+	case dnswire.TypeAAAA:
+		return s.answerAAAA(query, from, proto)
+	default:
+		// Authoritative for the name but no data of this type.
+		return s.respond(query, nil, nil)
+	}
+}
+
+// answerA serves the ECS-aware A response: record selection and scope come
+// from the world's serving assignment for the client subnet.
+func (s *AuthServer) answerA(query *dnswire.Message, from netip.Addr, proto netsim.Proto) *dnswire.Message {
+	subnet, hadECS := clientSubnet(query, from)
+	var answers []dnswire.Record
+	var edns *dnswire.EDNS
+
+	if subnet.IsValid() {
+		addrs := s.world.IngressAnswer(subnet, s.month, proto)
+		name := query.Questions[0].Name
+		for _, a := range addrs {
+			answers = append(answers, dnswire.Record{
+				Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, A: a,
+			})
+		}
+		if hadECS {
+			scope, ok := s.world.AnswerScope(subnet)
+			if !ok {
+				scope = 24
+			}
+			// Never claim a scope wider than what was asked about... the
+			// RFC permits it, and the skip optimization depends on it, so
+			// the server reports the true validity prefix even when it is
+			// shorter than the /24 source.
+			edns = &dnswire.EDNS{
+				UDPSize: 1232,
+				ClientSubnet: &dnswire.ClientSubnet{
+					SourcePrefixLen: uint8(subnet.Bits()),
+					ScopePrefixLen:  scope,
+					Addr:            subnet.Addr(),
+				},
+			}
+		}
+	}
+	return s.respond(query, answers, edns)
+}
+
+// answerAAAA serves AAAA queries. Per the paper (§3), the server reports
+// an ECS scope of zero for IPv6 — the answer is keyed on the resolver,
+// not the client subnet, so ECS enumeration cannot work for AAAA.
+func (s *AuthServer) answerAAAA(query *dnswire.Message, from netip.Addr, proto netsim.Proto) *dnswire.Message {
+	key := iputil.HashAddr(from)
+	addrs := s.world.IngressAnswerV6(key, s.month, proto)
+	name := query.Questions[0].Name
+	var answers []dnswire.Record
+	for _, a := range addrs {
+		answers = append(answers, dnswire.Record{
+			Name: name, Type: dnswire.TypeAAAA, Class: dnswire.ClassIN, TTL: 60, AAAA: a,
+		})
+	}
+	var edns *dnswire.EDNS
+	if query.Edns != nil && query.Edns.ClientSubnet != nil {
+		cs := query.Edns.ClientSubnet
+		edns = &dnswire.EDNS{
+			UDPSize: 1232,
+			ClientSubnet: &dnswire.ClientSubnet{
+				SourcePrefixLen: cs.SourcePrefixLen,
+				ScopePrefixLen:  0, // valid for the entire address space
+				Addr:            cs.Addr,
+			},
+		}
+	}
+	return s.respond(query, answers, edns)
+}
+
+// whoami answers with the requester's address as an A/AAAA record, like
+// whoami.akamai.net — used to identify which resolver queries on behalf
+// of a RIPE Atlas probe.
+func (s *AuthServer) whoami(query *dnswire.Message, from netip.Addr) *dnswire.Message {
+	q := query.Questions[0]
+	var answers []dnswire.Record
+	from = iputil.Canonical(from)
+	switch {
+	case q.Type == dnswire.TypeA && from.Is4():
+		answers = append(answers, dnswire.Record{
+			Name: q.Name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 0, A: from,
+		})
+	case q.Type == dnswire.TypeAAAA && from.Is6():
+		answers = append(answers, dnswire.Record{
+			Name: q.Name, Type: dnswire.TypeAAAA, Class: dnswire.ClassIN, TTL: 0, AAAA: from,
+		})
+	}
+	return s.respond(query, answers, nil)
+}
+
+// respond builds a NOERROR authoritative response.
+func (s *AuthServer) respond(query *dnswire.Message, answers []dnswire.Record, edns *dnswire.EDNS) *dnswire.Message {
+	s.Stats.Answered.Add(1)
+	return &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			Authoritative:    true,
+			RecursionDesired: query.Header.RecursionDesired,
+			RCode:            dnswire.RCodeNoError,
+		},
+		Questions: query.Questions,
+		Answers:   answers,
+		Edns:      edns,
+	}
+}
+
+// failure builds an authoritative error response.
+func (s *AuthServer) failure(query *dnswire.Message, rc dnswire.RCode) *dnswire.Message {
+	return &dnswire.Message{
+		Header: dnswire.Header{
+			ID:            query.Header.ID,
+			Response:      true,
+			Authoritative: true,
+			RCode:         rc,
+		},
+		Questions: query.Questions,
+	}
+}
+
+// clientSubnet extracts the effective client subnet for answer selection:
+// the ECS option when present (IPv4 only), otherwise the /24 around the
+// transport source address. The bool reports whether ECS was present.
+func clientSubnet(query *dnswire.Message, from netip.Addr) (netip.Prefix, bool) {
+	if query.Edns != nil && query.Edns.ClientSubnet != nil {
+		cs := query.Edns.ClientSubnet
+		addr := iputil.Canonical(cs.Addr)
+		if addr.Is4() {
+			return cs.Prefix(), true
+		}
+		return netip.Prefix{}, true // v6 ECS carries no per-subnet signal here
+	}
+	from = iputil.Canonical(from)
+	if from.Is4() {
+		return iputil.Slash24(from), false
+	}
+	return netip.Prefix{}, false
+}

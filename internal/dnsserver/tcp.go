@@ -1,0 +1,213 @@
+package dnsserver
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/dnswire"
+)
+
+// DNS-over-TCP (RFC 1035 §4.2.2): messages are length-prefixed with a
+// 16-bit big-endian size. UDP responses larger than the client's
+// advertised buffer are truncated (TC bit), prompting a TCP retry —
+// TruncatingUDPClient implements that classic fallback dance.
+
+// WriteTCPMessage writes one length-prefixed DNS message.
+func WriteTCPMessage(w io.Writer, msg *dnswire.Message) error {
+	wire, err := msg.Encode(nil)
+	if err != nil {
+		return err
+	}
+	if len(wire) > 0xFFFF {
+		return errors.New("dnsserver: message exceeds TCP length prefix")
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(wire)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(wire)
+	return err
+}
+
+// ReadTCPMessage reads one length-prefixed DNS message.
+func ReadTCPMessage(r io.Reader) (*dnswire.Message, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(hdr[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return dnswire.Decode(buf)
+}
+
+// TCPServer serves a Handler over TCP, pipelining queries per connection.
+type TCPServer struct {
+	handler Handler
+	ln      net.Listener
+	wg      sync.WaitGroup
+}
+
+// ListenTCP starts a DNS-over-TCP server on addr.
+func ListenTCP(addr string, handler Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: tcp listen: %w", err)
+	}
+	s := &TCPServer{handler: handler, ln: ln}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server.
+func (s *TCPServer) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) serve() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func(conn net.Conn) {
+			defer s.wg.Done()
+			defer conn.Close()
+			from := netip.Addr{}
+			if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+				from = ta.AddrPort().Addr()
+			}
+			br := bufio.NewReader(conn)
+			for {
+				_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+				query, err := ReadTCPMessage(br)
+				if err != nil {
+					return
+				}
+				resp := s.handler.Handle(query, from)
+				if resp == nil {
+					return // dropped: close, client times out
+				}
+				if err := WriteTCPMessage(conn, resp); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+}
+
+// TCPClient queries a DNS-over-TCP server, one connection per exchange.
+type TCPClient struct {
+	ServerAddr string
+	Timeout    time.Duration
+}
+
+// Exchange implements Exchanger over TCP.
+func (c *TCPClient) Exchange(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", c.ServerAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	_ = conn.SetDeadline(deadline)
+	if err := WriteTCPMessage(conn, query); err != nil {
+		return nil, err
+	}
+	resp, err := ReadTCPMessage(conn)
+	if err != nil {
+		return nil, ErrTimeout
+	}
+	if resp.Header.ID != query.Header.ID {
+		return nil, errors.New("dnsserver: TCP response ID mismatch")
+	}
+	return resp, nil
+}
+
+// TruncatingUDPClient exchanges over UDP first and retries over TCP when
+// the response arrives truncated — the standard resolver behaviour that
+// large ECS answer sets can trigger.
+type TruncatingUDPClient struct {
+	UDP *UDPClient
+	TCP *TCPClient
+	// Retried counts TCP fallbacks (for instrumentation).
+	mu      sync.Mutex
+	retried int64
+}
+
+// Exchange implements Exchanger with TC-bit fallback.
+func (c *TruncatingUDPClient) Exchange(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
+	resp, err := c.UDP.Exchange(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Header.Truncated {
+		return resp, nil
+	}
+	c.mu.Lock()
+	c.retried++
+	c.mu.Unlock()
+	return c.TCP.Exchange(ctx, query)
+}
+
+// Retried returns how many exchanges fell back to TCP.
+func (c *TruncatingUDPClient) Retried() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retried
+}
+
+// TruncateForUDP returns the message to send over UDP given the
+// requester's advertised buffer size: when the full encoding does not
+// fit, the answer sections are dropped and the TC bit is set (RFC 2181
+// §9 semantics — truncated responses should not be partially used).
+func TruncateForUDP(msg *dnswire.Message, bufSize int) (*dnswire.Message, []byte, error) {
+	if bufSize < 512 {
+		bufSize = 512
+	}
+	wire, err := msg.Encode(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(wire) <= bufSize {
+		return msg, wire, nil
+	}
+	trunc := &dnswire.Message{
+		Header:    msg.Header,
+		Questions: msg.Questions,
+		Edns:      msg.Edns,
+	}
+	trunc.Header.Truncated = true
+	wire, err = trunc.Encode(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trunc, wire, nil
+}

@@ -1,0 +1,205 @@
+package dnsserver
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/dnswire"
+	"github.com/relay-networks/privaterelay/internal/iputil"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+)
+
+func TestTCPMessageFraming(t *testing.T) {
+	q := dnswire.NewQuery(5, MaskDomain, dnswire.TypeA)
+	var buf bytes.Buffer
+	if err := WriteTCPMessage(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTCPMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.ID != 5 || got.Questions[0].Name != MaskDomain {
+		t.Fatalf("framing round trip: %+v", got)
+	}
+	// Truncated stream.
+	WriteTCPMessage(&buf, q)
+	raw := buf.Bytes()
+	if _, err := ReadTCPMessage(bytes.NewReader(raw[:3])); err == nil {
+		t.Fatal("truncated TCP stream accepted")
+	}
+}
+
+func TestTCPServerEndToEnd(t *testing.T) {
+	w, srv := testSetup(t)
+	ts, err := ListenTCP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	cl := &TCPClient{ServerAddr: ts.Addr().String(), Timeout: 2 * time.Second}
+	subnet := clientSubnetOf(w, 0)
+	resp, err := cl.Exchange(context.Background(), ecsQuery(9, MaskDomain, subnet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.IngressAnswer(subnet, netsim.MonthApr, netsim.ProtoDefault)
+	if len(resp.Answers) != len(want) || resp.Answers[0].A != want[0] {
+		t.Fatalf("TCP answers = %v", resp.Answers)
+	}
+}
+
+func TestTCPServerPipelining(t *testing.T) {
+	w, srv := testSetup(t)
+	ts, err := ListenTCP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	// Two queries on one connection.
+	conn, err := newTCPConn(ts.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := uint16(1); i <= 2; i++ {
+		if err := WriteTCPMessage(conn, ecsQuery(i, MaskDomain, clientSubnetOf(w, int(i)))); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ReadTCPMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Header.ID != i {
+			t.Fatalf("pipelined response %d has id %d", i, resp.Header.ID)
+		}
+	}
+}
+
+func TestTruncateForUDP(t *testing.T) {
+	msg := &dnswire.Message{
+		Header:    dnswire.Header{ID: 1, Response: true},
+		Questions: []dnswire.Question{{Name: MaskDomain, Type: dnswire.TypeA, Class: dnswire.ClassIN}},
+	}
+	for i := 0; i < 8; i++ {
+		msg.Answers = append(msg.Answers, dnswire.Record{
+			Name: MaskDomain, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60,
+			A: netip.AddrFrom4([4]byte{17, 0, 0, byte(i)}),
+		})
+	}
+	full, wire, err := TruncateForUDP(msg, 4096)
+	if err != nil || full.Header.Truncated || len(full.Answers) != 8 {
+		t.Fatalf("large buffer should not truncate: %v %d", err, len(wire))
+	}
+	// Force truncation with a tiny buffer (clamped to 512, so craft a
+	// message beyond 512 bytes: add TXT padding).
+	for i := 0; i < 40; i++ {
+		msg.Answers = append(msg.Answers, dnswire.Record{
+			Name: MaskDomain, Type: dnswire.TypeTXT, Class: dnswire.ClassIN, TTL: 60,
+			TXT: []string{strings.Repeat("x", 60)},
+		})
+	}
+	trunc, wire, err := TruncateForUDP(msg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trunc.Header.Truncated || len(trunc.Answers) != 0 {
+		t.Fatalf("truncation failed: %+v", trunc.Header)
+	}
+	if len(wire) > 512 {
+		t.Fatalf("truncated wire = %d bytes", len(wire))
+	}
+}
+
+func TestTruncatingUDPClientFallsBackToTCP(t *testing.T) {
+	w := netsim.NewWorld(netsim.Params{Seed: 3, Scale: 0.0005})
+	srv := NewAuthServer(w, netsim.MonthApr, nil)
+	us, err := ListenUDP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer us.Close()
+	ts, err := ListenTCP("127.0.0.1:0", srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	cl := &TruncatingUDPClient{
+		UDP: &UDPClient{ServerAddr: us.Addr().String(), Timeout: 2 * time.Second, Retries: 1},
+		TCP: &TCPClient{ServerAddr: ts.Addr().String(), Timeout: 2 * time.Second},
+	}
+	// Announce a tiny UDP buffer so the 8-record ECS answer (161B wire,
+	// under 512) still fits... craft a query whose response exceeds 512:
+	// the mask answer fits, so instead verify the no-truncation path
+	// first, then force TC by querying with many answers via a wrapper.
+	subnet := iputil.NthSubnet(w.ClientASes[0].Prefixes[0], 24, 0)
+	q := dnswire.NewQuery(21, MaskDomain, dnswire.TypeA).WithECS(subnet)
+	resp, err := cl.Exchange(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Truncated || cl.Retried() != 0 {
+		t.Fatal("small answer should not fall back")
+	}
+
+	// A padding handler forces responses over 512 bytes.
+	padded := &paddingHandler{inner: srv}
+	us2, err := ListenUDP("127.0.0.1:0", padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer us2.Close()
+	ts2, err := ListenTCP("127.0.0.1:0", padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts2.Close()
+	cl2 := &TruncatingUDPClient{
+		UDP: &UDPClient{ServerAddr: us2.Addr().String(), Timeout: 2 * time.Second, Retries: 1},
+		TCP: &TCPClient{ServerAddr: ts2.Addr().String(), Timeout: 2 * time.Second},
+	}
+	q2 := dnswire.NewQuery(22, MaskDomain, dnswire.TypeA).WithECS(subnet)
+	q2.Edns.UDPSize = 512
+	resp, err = cl2.Exchange(context.Background(), q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2.Retried() != 1 {
+		t.Fatalf("TCP fallback count = %d, want 1", cl2.Retried())
+	}
+	if resp.Header.Truncated || len(resp.Answers) == 0 {
+		t.Fatalf("TCP retry should deliver the full answer: %+v", resp.Header)
+	}
+}
+
+// paddingHandler inflates every response past the 512-byte UDP floor.
+type paddingHandler struct {
+	inner Handler
+}
+
+func (p *paddingHandler) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
+	resp := p.inner.Handle(q, from)
+	if resp == nil || len(resp.Questions) == 0 {
+		return resp
+	}
+	for i := 0; i < 5; i++ {
+		resp.Answers = append(resp.Answers, dnswire.Record{
+			Name: resp.Questions[0].Name, Type: dnswire.TypeTXT, Class: dnswire.ClassIN, TTL: 1,
+			TXT: []string{strings.Repeat("p", 150)},
+		})
+	}
+	return resp
+}
+
+// newTCPConn dials a plain TCP connection for pipelining tests.
+func newTCPConn(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 2*time.Second)
+}

@@ -1,0 +1,207 @@
+package dnsserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/dnswire"
+)
+
+// Exchanger performs one DNS query/response exchange. Implementations:
+// MemTransport (in-process) and UDPClient (wire format over a socket).
+type Exchanger interface {
+	Exchange(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error)
+}
+
+// ErrTimeout is returned when the server drops a query (rate limiting or
+// simulated loss) and the client gives up.
+var ErrTimeout = errors.New("dnsserver: query timed out")
+
+// MemTransport calls a Handler directly, impersonating a given source
+// address. It optionally injects loss for robustness testing.
+type MemTransport struct {
+	Handler Handler
+	// Source is the simulated transport source address.
+	Source netip.Addr
+	// LossEvery drops every n-th query when > 0 (deterministic loss).
+	LossEvery int
+
+	mu sync.Mutex
+	n  int
+}
+
+// Exchange implements Exchanger.
+func (m *MemTransport) Exchange(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if m.LossEvery > 0 {
+		m.mu.Lock()
+		m.n++
+		drop := m.n%m.LossEvery == 0
+		m.mu.Unlock()
+		if drop {
+			return nil, ErrTimeout
+		}
+	}
+	resp := m.Handler.Handle(query, m.Source)
+	if resp == nil {
+		return nil, ErrTimeout
+	}
+	return resp, nil
+}
+
+// UDPServer serves a Handler over a UDP socket using the DNS wire format.
+type UDPServer struct {
+	handler Handler
+	conn    net.PacketConn
+	wg      sync.WaitGroup
+	closed  chan struct{}
+}
+
+// ListenUDP starts a UDP server on addr (e.g. "127.0.0.1:0") and begins
+// serving. Close must be called to release the socket.
+func ListenUDP(addr string, handler Handler) (*UDPServer, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: listen: %w", err)
+	}
+	s := &UDPServer{handler: handler, conn: conn, closed: make(chan struct{})}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Close stops the server and waits for the serve loop to exit.
+func (s *UDPServer) Close() error {
+	close(s.closed)
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *UDPServer) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 4096)
+	for {
+		n, raddr, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			continue // transient read error: keep serving
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go s.handlePacket(pkt, raddr)
+	}
+}
+
+func (s *UDPServer) handlePacket(pkt []byte, raddr net.Addr) {
+	query, err := dnswire.Decode(pkt)
+	if err != nil {
+		return // malformed: drop, as real servers do for garbage
+	}
+	from := netip.Addr{}
+	if ua, ok := raddr.(*net.UDPAddr); ok {
+		from = ua.AddrPort().Addr()
+	}
+	resp := s.handler.Handle(query, from)
+	if resp == nil {
+		return
+	}
+	// Honor the requester's advertised UDP buffer: oversize responses are
+	// truncated with TC set, prompting the client's TCP retry.
+	bufSize := 512
+	if query.Edns != nil && query.Edns.UDPSize > 512 {
+		bufSize = int(query.Edns.UDPSize)
+	}
+	_, wire, err := TruncateForUDP(resp, bufSize)
+	if err != nil {
+		return
+	}
+	_, _ = s.conn.WriteTo(wire, raddr)
+}
+
+// UDPClient queries a UDP DNS server with retry and timeout.
+type UDPClient struct {
+	// ServerAddr is the "host:port" of the server.
+	ServerAddr string
+	// Timeout bounds each attempt (default 2s).
+	Timeout time.Duration
+	// Retries is the number of additional attempts (default 1).
+	Retries int
+}
+
+// Exchange implements Exchanger over UDP.
+func (c *UDPClient) Exchange(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	wire, err := query.Encode(nil)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error = ErrTimeout
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := c.exchangeOnce(ctx, wire, query.Header.ID, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (c *UDPClient) exchangeOnce(ctx context.Context, wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "udp", c.ServerAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write(wire); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return nil, err
+			}
+			return nil, ErrTimeout
+		}
+		resp, err := dnswire.Decode(buf[:n])
+		if err != nil {
+			continue // garbage on the socket: wait for a real response
+		}
+		if resp.Header.ID != id {
+			continue // stale response from a previous attempt
+		}
+		return resp, nil
+	}
+}

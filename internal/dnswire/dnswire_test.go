@@ -1,0 +1,446 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "."},
+		{".", "."},
+		{"Mask.iCloud.COM", "mask.icloud.com."},
+		{"mask.icloud.com.", "mask.icloud.com."},
+	}
+	for _, c := range cases {
+		if got := CanonicalName(c.in); got != c.want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTypeClassRCodeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" || Type(999).String() != "TYPE999" {
+		t.Error("Type.String mismatch")
+	}
+	if ClassIN.String() != "IN" || Class(7).String() != "CLASS7" {
+		t.Error("Class.String mismatch")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCodeRefused.String() != "REFUSED" || RCode(77).String() != "RCODE77" {
+		t.Error("RCode.String mismatch")
+	}
+}
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	wire, err := m.Encode(nil)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "mask.icloud.com", TypeA)
+	got := roundTrip(t, q)
+	if got.Header.ID != 0x1234 || got.Header.Response || !got.Header.RecursionDesired {
+		t.Fatalf("header mismatch: %+v", got.Header)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions = %d, want 1", len(got.Questions))
+	}
+	if got.Questions[0].Name != "mask.icloud.com." || got.Questions[0].Type != TypeA {
+		t.Fatalf("question = %v", got.Questions[0])
+	}
+}
+
+func TestECSQueryRoundTrip(t *testing.T) {
+	q := NewQuery(7, "mask.icloud.com", TypeA).WithECS(netip.MustParsePrefix("203.0.113.0/24"))
+	got := roundTrip(t, q)
+	if got.Edns == nil || got.Edns.ClientSubnet == nil {
+		t.Fatal("ECS option lost in round trip")
+	}
+	cs := got.Edns.ClientSubnet
+	if cs.SourcePrefixLen != 24 || cs.ScopePrefixLen != 0 {
+		t.Fatalf("ECS lens = %d/%d", cs.SourcePrefixLen, cs.ScopePrefixLen)
+	}
+	if cs.Prefix().String() != "203.0.113.0/24" {
+		t.Fatalf("ECS prefix = %v", cs.Prefix())
+	}
+}
+
+func TestECSv6RoundTrip(t *testing.T) {
+	q := NewQuery(9, "mask.icloud.com", TypeAAAA).WithECS(netip.MustParsePrefix("2001:db8:ab::/48"))
+	got := roundTrip(t, q)
+	cs := got.Edns.ClientSubnet
+	if cs == nil || cs.Prefix().String() != "2001:db8:ab::/48" {
+		t.Fatalf("v6 ECS round trip: %v", cs)
+	}
+}
+
+func TestECSAddressTruncation(t *testing.T) {
+	// A /20 source must emit ceil(20/8)=3 address octets with spare bits zeroed.
+	cs := NewClientSubnet(netip.MustParsePrefix("203.0.113.0/20"))
+	body, err := appendECS(nil, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// family(2) + lens(2) + 3 octets
+	if len(body) != 7 {
+		t.Fatalf("ECS body len = %d, want 7", len(body))
+	}
+	if body[6] != 0x70 { // 113 = 0x71 → /20 masks low 4 bits of third octet: 0x70
+		t.Fatalf("third octet = %#x, want 0x70", body[6])
+	}
+}
+
+func TestECSScopeZeroMeansGlobal(t *testing.T) {
+	cs := &ClientSubnet{SourcePrefixLen: 24, ScopePrefixLen: 0, Addr: netip.MustParseAddr("198.51.100.0")}
+	if cs.ScopePrefix().Bits() != 0 {
+		t.Fatalf("scope prefix bits = %d, want 0", cs.ScopePrefix().Bits())
+	}
+	if cs.String() != "198.51.100.0/24/0" {
+		t.Fatalf("String = %s", cs.String())
+	}
+}
+
+func TestResponseWithAllSections(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 1, Response: true, Authoritative: true, RCode: RCodeNoError},
+		Questions: []Question{
+			{Name: "mask.icloud.com.", Type: TypeA, Class: ClassIN},
+		},
+		Answers: []Record{
+			{Name: "mask.icloud.com.", Type: TypeA, Class: ClassIN, TTL: 60, A: netip.MustParseAddr("17.248.1.1")},
+			{Name: "mask.icloud.com.", Type: TypeA, Class: ClassIN, TTL: 60, A: netip.MustParseAddr("23.32.5.9")},
+		},
+		Authorities: []Record{
+			{Name: "icloud.com.", Type: TypeNS, Class: ClassIN, TTL: 300, NS: "ns1.aws-route53.example."},
+		},
+		Additionals: []Record{
+			{Name: "ns1.aws-route53.example.", Type: TypeA, Class: ClassIN, TTL: 300, A: netip.MustParseAddr("205.251.1.1")},
+		},
+		Edns: &EDNS{UDPSize: 4096, ClientSubnet: &ClientSubnet{
+			SourcePrefixLen: 24, ScopePrefixLen: 24, Addr: netip.MustParseAddr("203.0.113.0"),
+		}},
+	}
+	got := roundTrip(t, m)
+	if len(got.Answers) != 2 || len(got.Authorities) != 1 || len(got.Additionals) != 1 {
+		t.Fatalf("section sizes: %d/%d/%d", len(got.Answers), len(got.Authorities), len(got.Additionals))
+	}
+	if got.Answers[0].A.String() != "17.248.1.1" {
+		t.Fatalf("answer A = %v", got.Answers[0].A)
+	}
+	if got.Authorities[0].NS != "ns1.aws-route53.example." {
+		t.Fatalf("authority NS = %q", got.Authorities[0].NS)
+	}
+	if got.Edns == nil || got.Edns.UDPSize != 4096 || got.Edns.ClientSubnet.ScopePrefixLen != 24 {
+		t.Fatalf("EDNS: %+v", got.Edns)
+	}
+}
+
+func TestAAAARoundTrip(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 2, Response: true},
+		Questions: []Question{{Name: "mask.icloud.com.", Type: TypeAAAA, Class: ClassIN}},
+		Answers: []Record{
+			{Name: "mask.icloud.com.", Type: TypeAAAA, Class: ClassIN, TTL: 60, AAAA: netip.MustParseAddr("2620:149:a44::1")},
+		},
+	}
+	got := roundTrip(t, m)
+	if got.Answers[0].AAAA.String() != "2620:149:a44::1" {
+		t.Fatalf("AAAA = %v", got.Answers[0].AAAA)
+	}
+}
+
+func TestTXTSOACNAMEPTRRoundTrip(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 3, Response: true},
+		Questions: []Question{{Name: "example.com.", Type: TypeANY, Class: ClassIN}},
+		Answers: []Record{
+			{Name: "example.com.", Type: TypeTXT, Class: ClassIN, TTL: 60, TXT: []string{"hello", "world"}},
+			{Name: "www.example.com.", Type: TypeCNAME, Class: ClassIN, TTL: 60, CNAME: "example.com."},
+			{Name: "1.0.0.127.in-addr.arpa.", Type: TypePTR, Class: ClassIN, TTL: 60, PTR: "localhost."},
+			{Name: "example.com.", Type: TypeSOA, Class: ClassIN, TTL: 60, SOA: &SOAData{
+				MName: "ns1.example.com.", RName: "hostmaster.example.com.",
+				Serial: 2022010100, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 86400,
+			}},
+		},
+	}
+	got := roundTrip(t, m)
+	if len(got.Answers) != 4 {
+		t.Fatalf("answers = %d", len(got.Answers))
+	}
+	if got.Answers[0].TXT[1] != "world" {
+		t.Fatalf("TXT = %v", got.Answers[0].TXT)
+	}
+	if got.Answers[1].CNAME != "example.com." {
+		t.Fatalf("CNAME = %q", got.Answers[1].CNAME)
+	}
+	if got.Answers[2].PTR != "localhost." {
+		t.Fatalf("PTR = %q", got.Answers[2].PTR)
+	}
+	soa := got.Answers[3].SOA
+	if soa == nil || soa.Serial != 2022010100 || soa.MName != "ns1.example.com." {
+		t.Fatalf("SOA = %+v", soa)
+	}
+}
+
+func TestUnknownTypePreservesRawData(t *testing.T) {
+	m := &Message{
+		Header:  Header{ID: 4, Response: true},
+		Answers: []Record{{Name: "x.example.", Type: Type(99), Class: ClassIN, TTL: 1, Data: []byte{1, 2, 3}}},
+	}
+	got := roundTrip(t, m)
+	if !bytes.Equal(got.Answers[0].Data, []byte{1, 2, 3}) {
+		t.Fatalf("raw data = %v", got.Answers[0].Data)
+	}
+}
+
+func TestNameCompressionShrinksMessage(t *testing.T) {
+	mk := func() *Message {
+		m := &Message{Header: Header{ID: 5, Response: true},
+			Questions: []Question{{Name: "mask.icloud.com.", Type: TypeA, Class: ClassIN}}}
+		for i := 0; i < 8; i++ {
+			m.Answers = append(m.Answers, Record{
+				Name: "mask.icloud.com.", Type: TypeA, Class: ClassIN, TTL: 60,
+				A: netip.AddrFrom4([4]byte{17, 248, 0, byte(i)}),
+			})
+		}
+		return m
+	}
+	wire, err := mk().Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 answers, each owner name compressed to a 2-byte pointer instead of
+	// 17 bytes: the message must be far below the uncompressed size.
+	uncompressed := 12 + 21 + 8*(17+14)
+	if len(wire) >= uncompressed-8*10 {
+		t.Fatalf("compression ineffective: %d bytes (uncompressed would be %d)", len(wire), uncompressed)
+	}
+	// And it must still decode correctly.
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 8 || got.Answers[7].Name != "mask.icloud.com." {
+		t.Fatalf("decode after compression: %+v", got.Answers)
+	}
+}
+
+func TestDecodeCaseInsensitiveNames(t *testing.T) {
+	m := NewQuery(6, "MASK.iCloud.Com", TypeA)
+	got := roundTrip(t, m)
+	if got.Questions[0].Name != "mask.icloud.com." {
+		t.Fatalf("name = %q", got.Questions[0].Name)
+	}
+}
+
+func TestEncodeRejectsBadRecords(t *testing.T) {
+	cases := []Record{
+		{Name: "x.", Type: TypeA, Class: ClassIN, AAAA: netip.MustParseAddr("::1")},                                   // A without v4 addr
+		{Name: "x.", Type: TypeAAAA, Class: ClassIN, A: netip.MustParseAddr("127.0.0.1")},                             // AAAA without v6 addr
+		{Name: "x.", Type: TypeSOA, Class: ClassIN},                                                                   // SOA without data
+		{Name: "x.", Type: TypeTXT, Class: ClassIN, TXT: []string{strings.Repeat("a", 256)}},                          // oversize TXT string
+		{Name: strings.Repeat("a", 64) + ".example.", Type: TypeA, Class: ClassIN, A: netip.MustParseAddr("1.2.3.4")}, // label > 63
+	}
+	for i, r := range cases {
+		m := &Message{Header: Header{ID: 1}, Answers: []Record{r}}
+		if _, err := m.Encode(nil); err == nil {
+			t.Errorf("case %d: Encode succeeded, want error", i)
+		}
+	}
+}
+
+func TestEncodeRejectsOverlongName(t *testing.T) {
+	long := strings.Repeat("abcdefgh.", 32) // 288 chars > 255
+	m := NewQuery(1, long, TypeA)
+	if _, err := m.Encode(nil); err == nil {
+		t.Fatal("Encode of overlong name succeeded")
+	}
+}
+
+func TestDecodeTruncatedInputs(t *testing.T) {
+	q := NewQuery(10, "mask.icloud.com", TypeA).WithECS(netip.MustParsePrefix("198.51.100.0/24"))
+	wire, err := q.Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(wire); cut++ {
+		if _, err := Decode(wire[:cut]); err == nil {
+			t.Fatalf("Decode of %d/%d bytes succeeded", cut, len(wire))
+		}
+	}
+}
+
+func TestDecodePointerLoopRejected(t *testing.T) {
+	// Hand-craft a message whose question name is a self-pointing pointer.
+	msg := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, // header, 1 question
+		0xC0, 12, // pointer to itself
+		0, 1, 0, 1,
+	}
+	if _, err := Decode(msg); err == nil {
+		t.Fatal("self-pointer accepted")
+	}
+}
+
+func TestDecodeForwardPointerRejected(t *testing.T) {
+	msg := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0xC0, 200, // forward pointer beyond current offset
+		0, 1, 0, 1,
+	}
+	if _, err := Decode(msg); err == nil {
+		t.Fatal("forward pointer accepted")
+	}
+}
+
+func TestDecodeBadLabelTypeRejected(t *testing.T) {
+	msg := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0x80, 0, // reserved label type 10
+		0, 1, 0, 1,
+	}
+	if _, err := Decode(msg); err == nil {
+		t.Fatal("reserved label type accepted")
+	}
+}
+
+func TestDecodeBadECSRejected(t *testing.T) {
+	cases := [][]byte{
+		{0, 1},                       // too short
+		{0, 3, 24, 0, 1, 2, 3},       // unknown family
+		{0, 1, 24, 0, 1, 2},          // wrong addr length for /24
+		{0, 1, 40, 0, 1, 2, 3, 4, 5}, // source > 32 for v4
+	}
+	for i, body := range cases {
+		if _, err := decodeECS(body); err == nil {
+			t.Errorf("case %d: bad ECS accepted", i)
+		}
+	}
+}
+
+func TestExtendedRCodeMerging(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 11, Response: true, RCode: RCode(0x5)},
+		Edns:   &EDNS{UDPSize: 1232, ExtendedRCode: 0x2},
+	}
+	got := roundTrip(t, m)
+	if got.Header.RCode != RCode(0x25) {
+		t.Fatalf("merged rcode = %#x, want 0x25", uint16(got.Header.RCode))
+	}
+}
+
+func TestUnknownEDNSOptionPreserved(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 12},
+		Edns:   &EDNS{UDPSize: 1232, UnknownOptions: []RawOption{{Code: 10, Data: []byte{9, 9}}}},
+	}
+	got := roundTrip(t, m)
+	if len(got.Edns.UnknownOptions) != 1 || got.Edns.UnknownOptions[0].Code != 10 {
+		t.Fatalf("unknown options = %+v", got.Edns.UnknownOptions)
+	}
+}
+
+func TestRootNameRoundTrip(t *testing.T) {
+	m := NewQuery(13, ".", TypeNS)
+	got := roundTrip(t, m)
+	if got.Questions[0].Name != "." {
+		t.Fatalf("root name = %q", got.Questions[0].Name)
+	}
+}
+
+// Property: any query built from valid inputs round-trips unchanged.
+func TestPropertyQueryRoundTrip(t *testing.T) {
+	f := func(id uint16, l1, l2 uint8, v4 [4]byte, bits uint8) bool {
+		name := label(l1) + "." + label(l2) + ".example.com"
+		pfx := netip.PrefixFrom(netip.AddrFrom4(v4), int(bits%25)+8).Masked()
+		q := NewQuery(id, name, TypeA).WithECS(pfx)
+		wire, err := q.Encode(nil)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		return got.Header.ID == id &&
+			got.Questions[0].Name == CanonicalName(name) &&
+			got.Edns.ClientSubnet.Prefix() == pfx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// label derives a short lowercase DNS label from a byte.
+func label(b uint8) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz"
+	n := int(b%7) + 1
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alpha[(int(b)+i)%26])
+	}
+	return sb.String()
+}
+
+// Property: Decode never panics on arbitrary input (fuzz-like smoke check).
+func TestPropertyDecodeNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked on %x: %v", data, r)
+			}
+		}()
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeECSQuery(b *testing.B) {
+	pfx := netip.MustParsePrefix("203.0.113.0/24")
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := NewQuery(uint16(i), "mask.icloud.com", TypeA).WithECS(pfx)
+		var err error
+		buf, err = q.Encode(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeResponse(b *testing.B) {
+	m := &Message{
+		Header:    Header{ID: 1, Response: true},
+		Questions: []Question{{Name: "mask.icloud.com.", Type: TypeA, Class: ClassIN}},
+		Edns:      &EDNS{UDPSize: 1232, ClientSubnet: &ClientSubnet{SourcePrefixLen: 24, ScopePrefixLen: 24, Addr: netip.MustParseAddr("203.0.113.0")}},
+	}
+	for i := 0; i < 8; i++ {
+		m.Answers = append(m.Answers, Record{Name: "mask.icloud.com.", Type: TypeA, Class: ClassIN, TTL: 60, A: netip.AddrFrom4([4]byte{17, 248, 0, byte(i)})})
+	}
+	wire, err := m.Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// Encode serializes the message, appending to buf (which may be nil).
+// Names in questions and record owners are compressed; rdata names are
+// compressed where RFC 1035 permits (NS, CNAME, PTR, SOA).
+func (m *Message) Encode(buf []byte) ([]byte, error) {
+	return m.encode(buf, true)
+}
+
+// EncodeUncompressed serializes the message without name compression —
+// kept for the compression ablation benchmark and interop testing.
+func (m *Message) EncodeUncompressed(buf []byte) ([]byte, error) {
+	return m.encode(buf, false)
+}
+
+func (m *Message) encode(buf []byte, compressNames bool) ([]byte, error) {
+	base := len(buf)
+	var compress map[string]int
+	if compressNames {
+		compress = make(map[string]int, 8)
+	}
+
+	h := m.Header
+	buf = binary.BigEndian.AppendUint16(buf, h.ID)
+	var flags uint16
+	if h.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.OpCode&0xF) << 11
+	if h.Authoritative {
+		flags |= 1 << 10
+	}
+	if h.Truncated {
+		flags |= 1 << 9
+	}
+	if h.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.RCode & 0xF)
+	buf = binary.BigEndian.AppendUint16(buf, flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Questions)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Answers)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Authorities)))
+	nAdd := len(m.Additionals)
+	if m.Edns != nil {
+		nAdd++
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(nAdd))
+
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = appendNameOffset(buf, q.Name, compress, base); err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authorities, m.Additionals} {
+		for i := range sec {
+			if buf, err = appendRecord(buf, &sec[i], compress, base); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if m.Edns != nil {
+		if buf, err = appendOPT(buf, m.Edns); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// appendNameOffset is appendName with compression offsets recorded relative
+// to msgBase instead of the start of buf.
+func appendNameOffset(buf []byte, name string, compress map[string]int, msgBase int) ([]byte, error) {
+	// appendName records offsets relative to buf start; adjust by recording
+	// into a view. Simplest correct approach: temporarily slice from msgBase.
+	out, err := appendName(buf[msgBase:], name, compress)
+	if err != nil {
+		return nil, err
+	}
+	return append(buf[:msgBase], out...), nil
+}
+
+// appendRecord appends one resource record.
+func appendRecord(buf []byte, r *Record, compress map[string]int, base int) ([]byte, error) {
+	var err error
+	if buf, err = appendNameOffset(buf, r.Name, compress, base); err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.Type))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(r.Class))
+	buf = binary.BigEndian.AppendUint32(buf, r.TTL)
+	rdlenAt := len(buf)
+	buf = append(buf, 0, 0)
+	switch r.Type {
+	case TypeA:
+		if !r.A.Is4() {
+			return nil, ErrBadRData
+		}
+		b := r.A.As4()
+		buf = append(buf, b[:]...)
+	case TypeAAAA:
+		if !r.AAAA.Is6() || r.AAAA.Is4In6() {
+			return nil, ErrBadRData
+		}
+		b := r.AAAA.As16()
+		buf = append(buf, b[:]...)
+	case TypeNS:
+		if buf, err = appendNameOffset(buf, r.NS, compress, base); err != nil {
+			return nil, err
+		}
+	case TypeCNAME:
+		if buf, err = appendNameOffset(buf, r.CNAME, compress, base); err != nil {
+			return nil, err
+		}
+	case TypePTR:
+		if buf, err = appendNameOffset(buf, r.PTR, compress, base); err != nil {
+			return nil, err
+		}
+	case TypeTXT:
+		for _, s := range r.TXT {
+			if len(s) > 255 {
+				return nil, ErrBadRData
+			}
+			buf = append(buf, byte(len(s)))
+			buf = append(buf, s...)
+		}
+	case TypeSOA:
+		if r.SOA == nil {
+			return nil, ErrBadRData
+		}
+		if buf, err = appendNameOffset(buf, r.SOA.MName, compress, base); err != nil {
+			return nil, err
+		}
+		if buf, err = appendNameOffset(buf, r.SOA.RName, compress, base); err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint32(buf, r.SOA.Serial)
+		buf = binary.BigEndian.AppendUint32(buf, r.SOA.Refresh)
+		buf = binary.BigEndian.AppendUint32(buf, r.SOA.Retry)
+		buf = binary.BigEndian.AppendUint32(buf, r.SOA.Expire)
+		buf = binary.BigEndian.AppendUint32(buf, r.SOA.Minimum)
+	default:
+		buf = append(buf, r.Data...)
+	}
+	binary.BigEndian.PutUint16(buf[rdlenAt:], uint16(len(buf)-rdlenAt-2))
+	return buf, nil
+}
+
+// Decode parses a complete DNS message.
+func Decode(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	var m Message
+	m.Header.ID = binary.BigEndian.Uint16(msg[0:2])
+	flags := binary.BigEndian.Uint16(msg[2:4])
+	m.Header.Response = flags&(1<<15) != 0
+	m.Header.OpCode = OpCode(flags >> 11 & 0xF)
+	m.Header.Authoritative = flags&(1<<10) != 0
+	m.Header.Truncated = flags&(1<<9) != 0
+	m.Header.RecursionDesired = flags&(1<<8) != 0
+	m.Header.RecursionAvailable = flags&(1<<7) != 0
+	m.Header.RCode = RCode(flags & 0xF)
+
+	qd := int(binary.BigEndian.Uint16(msg[4:6]))
+	an := int(binary.BigEndian.Uint16(msg[6:8]))
+	ns := int(binary.BigEndian.Uint16(msg[8:10]))
+	ar := int(binary.BigEndian.Uint16(msg[10:12]))
+
+	off := 12
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		q.Name, off, err = decodeName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(msg) {
+			return nil, ErrTruncatedMessage
+		}
+		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []struct {
+		n    int
+		dest *[]Record
+	}{{an, &m.Answers}, {ns, &m.Authorities}, {ar, &m.Additionals}}
+	for si, sec := range sections {
+		for i := 0; i < sec.n; i++ {
+			var r Record
+			r, off, err = decodeRecord(msg, off)
+			if err != nil {
+				return nil, err
+			}
+			if si == 2 && r.Type == TypeOPT {
+				e, err := decodeOPT(&r)
+				if err != nil {
+					return nil, err
+				}
+				// Merge the extended rcode bits into the header rcode.
+				m.Header.RCode |= RCode(e.ExtendedRCode) << 4
+				m.Edns = e
+				continue
+			}
+			*sec.dest = append(*sec.dest, r)
+		}
+	}
+	return &m, nil
+}
+
+// decodeRecord parses one RR starting at off, returning it and the offset
+// just past it.
+func decodeRecord(msg []byte, off int) (Record, int, error) {
+	var r Record
+	var err error
+	r.Name, off, err = decodeName(msg, off)
+	if err != nil {
+		return r, 0, err
+	}
+	if off+10 > len(msg) {
+		return r, 0, ErrTruncatedMessage
+	}
+	r.Type = Type(binary.BigEndian.Uint16(msg[off:]))
+	r.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
+	r.TTL = binary.BigEndian.Uint32(msg[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(msg[off+8:]))
+	off += 10
+	if off+rdlen > len(msg) {
+		return r, 0, ErrTruncatedMessage
+	}
+	rdata := msg[off : off+rdlen]
+	switch r.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return r, 0, ErrBadRData
+		}
+		var b [4]byte
+		copy(b[:], rdata)
+		r.A = netip.AddrFrom4(b)
+	case TypeAAAA:
+		if rdlen != 16 {
+			return r, 0, ErrBadRData
+		}
+		var b [16]byte
+		copy(b[:], rdata)
+		r.AAAA = netip.AddrFrom16(b)
+	case TypeNS:
+		if r.NS, _, err = decodeName(msg, off); err != nil {
+			return r, 0, err
+		}
+	case TypeCNAME:
+		if r.CNAME, _, err = decodeName(msg, off); err != nil {
+			return r, 0, err
+		}
+	case TypePTR:
+		if r.PTR, _, err = decodeName(msg, off); err != nil {
+			return r, 0, err
+		}
+	case TypeTXT:
+		for p := 0; p < rdlen; {
+			l := int(rdata[p])
+			if p+1+l > rdlen {
+				return r, 0, ErrBadRData
+			}
+			r.TXT = append(r.TXT, string(rdata[p+1:p+1+l]))
+			p += 1 + l
+		}
+	case TypeSOA:
+		soa := &SOAData{}
+		p := off
+		if soa.MName, p, err = decodeName(msg, p); err != nil {
+			return r, 0, err
+		}
+		if soa.RName, p, err = decodeName(msg, p); err != nil {
+			return r, 0, err
+		}
+		if p+20 > off+rdlen {
+			return r, 0, ErrBadRData
+		}
+		soa.Serial = binary.BigEndian.Uint32(msg[p:])
+		soa.Refresh = binary.BigEndian.Uint32(msg[p+4:])
+		soa.Retry = binary.BigEndian.Uint32(msg[p+8:])
+		soa.Expire = binary.BigEndian.Uint32(msg[p+12:])
+		soa.Minimum = binary.BigEndian.Uint32(msg[p+16:])
+		r.SOA = soa
+	default:
+		r.Data = append([]byte(nil), rdata...)
+	}
+	return r, off + rdlen, nil
+}
+
+// NewQuery builds a standard recursive query for (name, type) with a fresh
+// random-ish ID derived from the name. Callers that need a specific ID can
+// overwrite Header.ID.
+func NewQuery(id uint16, name string, qtype Type) *Message {
+	return &Message{
+		Header: Header{
+			ID:               id,
+			OpCode:           OpCodeQuery,
+			RecursionDesired: true,
+		},
+		Questions: []Question{{Name: CanonicalName(name), Type: qtype, Class: ClassIN}},
+	}
+}
+
+// WithECS attaches an EDNS0 Client Subnet option for subnet to the query
+// and returns it for chaining.
+func (m *Message) WithECS(subnet netip.Prefix) *Message {
+	if m.Edns == nil {
+		m.Edns = &EDNS{UDPSize: 1232}
+	}
+	m.Edns.ClientSubnet = NewClientSubnet(subnet)
+	return m
+}

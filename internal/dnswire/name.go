@@ -1,0 +1,126 @@
+package dnswire
+
+import "strings"
+
+// maxNameWire is the RFC 1035 limit on the wire form of a name.
+const maxNameWire = 255
+
+// appendName appends the wire encoding of name to buf. When compress is
+// non-nil it is used as a name→offset map: suffixes already emitted are
+// replaced with compression pointers, and newly emitted suffixes are
+// recorded. Offsets beyond the 14-bit pointer range are never recorded.
+func appendName(buf []byte, name string, compress map[string]int) ([]byte, error) {
+	name = CanonicalName(name)
+	if name == "." {
+		return append(buf, 0), nil
+	}
+	// Wire length check: presentation length + 1 is a close upper bound.
+	if len(name)+1 > maxNameWire {
+		return nil, ErrNameTooLong
+	}
+	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if compress != nil {
+			if off, ok := compress[suffix]; ok {
+				return append(buf, byte(0xC0|off>>8), byte(off)), nil
+			}
+			if len(buf) < 0x3FFF {
+				compress[suffix] = len(buf)
+			}
+		}
+		label := labels[i]
+		if len(label) == 0 {
+			return nil, ErrLabelTooLong // empty interior label is malformed
+		}
+		if len(label) > 63 {
+			return nil, ErrLabelTooLong
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0), nil
+}
+
+// decodeName decodes a possibly-compressed name starting at off in msg.
+// It returns the canonical name and the offset just past the name's
+// in-place encoding (pointers do not advance the cursor past their target).
+func decodeName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	ptrBudget := len(msg) // each pointer must strictly decrease; budget caps loops
+	jumped := false
+	end := off
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				end = off + 1
+			}
+			if sb.Len() == 0 {
+				return ".", end, nil
+			}
+			return sb.String(), end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			target := int(b&0x3F)<<8 | int(msg[off+1])
+			if !jumped {
+				end = off + 2
+			}
+			jumped = true
+			if target >= off && ptrBudget == len(msg) {
+				// First pointer must point backwards; forward pointers are
+				// malformed and a reliable loop indicator.
+				return "", 0, ErrPointerLoop
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return "", 0, ErrPointerLoop
+			}
+			off = target
+		case b&0xC0 != 0:
+			return "", 0, ErrBadRData // 0x40/0x80 label types are unsupported
+		default:
+			if off+1+int(b) > len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			if sb.Len()+int(b)+1 > maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			sb.Write(toLowerASCII(msg[off+1 : off+1+int(b)]))
+			sb.WriteByte('.')
+			if !jumped {
+				end = off + 1 + int(b)
+			}
+			off += 1 + int(b)
+		}
+	}
+}
+
+// toLowerASCII lowercases ASCII letters without allocating when the input
+// is already lowercase.
+func toLowerASCII(b []byte) []byte {
+	lower := true
+	for _, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			lower = false
+			break
+		}
+	}
+	if lower {
+		return b
+	}
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return out
+}

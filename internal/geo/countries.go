@@ -1,0 +1,83 @@
+package geo
+
+import "github.com/relay-networks/privaterelay/internal/iputil"
+
+// AllCountryCodes lists the ISO 3166-1 alpha-2 codes the egress list
+// generator may draw from (249 officially assigned codes). Cloudflare's
+// egress coverage of 248 country codes in the paper nearly saturates
+// this set.
+var AllCountryCodes = []string{
+	"AD", "AE", "AF", "AG", "AI", "AL", "AM", "AO", "AQ", "AR", "AS", "AT",
+	"AU", "AW", "AX", "AZ", "BA", "BB", "BD", "BE", "BF", "BG", "BH", "BI",
+	"BJ", "BL", "BM", "BN", "BO", "BQ", "BR", "BS", "BT", "BV", "BW", "BY",
+	"BZ", "CA", "CC", "CD", "CF", "CG", "CH", "CI", "CK", "CL", "CM", "CN",
+	"CO", "CR", "CU", "CV", "CW", "CX", "CY", "CZ", "DE", "DJ", "DK", "DM",
+	"DO", "DZ", "EC", "EE", "EG", "EH", "ER", "ES", "ET", "FI", "FJ", "FK",
+	"FM", "FO", "FR", "GA", "GB", "GD", "GE", "GF", "GG", "GH", "GI", "GL",
+	"GM", "GN", "GP", "GQ", "GR", "GS", "GT", "GU", "GW", "GY", "HK", "HM",
+	"HN", "HR", "HT", "HU", "ID", "IE", "IL", "IM", "IN", "IO", "IQ", "IR",
+	"IS", "IT", "JE", "JM", "JO", "JP", "KE", "KG", "KH", "KI", "KM", "KN",
+	"KP", "KR", "KW", "KY", "KZ", "LA", "LB", "LC", "LI", "LK", "LR", "LS",
+	"LT", "LU", "LV", "LY", "MA", "MC", "MD", "ME", "MF", "MG", "MH", "MK",
+	"ML", "MM", "MN", "MO", "MP", "MQ", "MR", "MS", "MT", "MU", "MV", "MW",
+	"MX", "MY", "MZ", "NA", "NC", "NE", "NF", "NG", "NI", "NL", "NO", "NP",
+	"NR", "NU", "NZ", "OM", "PA", "PE", "PF", "PG", "PH", "PK", "PL", "PM",
+	"PN", "PR", "PS", "PT", "PW", "PY", "QA", "RE", "RO", "RS", "RU", "RW",
+	"SA", "SB", "SC", "SD", "SE", "SG", "SH", "SI", "SJ", "SK", "SL", "SM",
+	"SN", "SO", "SR", "SS", "ST", "SV", "SX", "SY", "SZ", "TC", "TD", "TF",
+	"TG", "TH", "TJ", "TK", "TL", "TM", "TN", "TO", "TR", "TT", "TV", "TW",
+	"TZ", "UA", "UG", "UM", "US", "UY", "UZ", "VA", "VC", "VE", "VG", "VI",
+	"VN", "VU", "WF", "WS", "YE", "YT", "ZA", "ZM", "ZW",
+}
+
+// knownCentroids holds approximate geographic centroids (lat, lon) for
+// countries that dominate the egress list. Countries not listed fall back
+// to a deterministic pseudo-centroid; the analysis only depends on country
+// identity and point dispersion, not cartographic accuracy.
+var knownCentroids = map[string][2]float64{
+	"US": {39.8, -98.6}, "DE": {51.2, 10.4}, "GB": {54.0, -2.5},
+	"FR": {46.6, 2.5}, "NL": {52.2, 5.3}, "CA": {56.1, -106.3},
+	"JP": {36.2, 138.3}, "AU": {-25.3, 133.8}, "BR": {-14.2, -51.9},
+	"IN": {20.6, 79.0}, "IT": {41.9, 12.6}, "ES": {40.5, -3.7},
+	"SE": {60.1, 18.6}, "PL": {51.9, 19.1}, "CH": {46.8, 8.2},
+	"SG": {1.35, 103.8}, "KR": {35.9, 127.8}, "MX": {23.6, -102.6},
+	"RU": {61.5, 105.3}, "ZA": {-30.6, 22.9}, "AR": {-38.4, -63.6},
+	"CL": {-35.7, -71.5}, "CO": {4.6, -74.3}, "AT": {47.5, 14.6},
+	"BE": {50.5, 4.5}, "DK": {56.3, 9.5}, "FI": {61.9, 25.7},
+	"NO": {60.5, 8.5}, "IE": {53.4, -8.2}, "PT": {39.4, -8.2},
+	"CZ": {49.8, 15.5}, "RO": {45.9, 25.0}, "HU": {47.2, 19.5},
+	"GR": {39.1, 21.8}, "TR": {38.9, 35.2}, "IL": {31.0, 34.9},
+	"AE": {23.4, 53.8}, "SA": {23.9, 45.1}, "EG": {26.8, 30.8},
+	"NG": {9.1, 8.7}, "KE": {-0.02, 37.9}, "TH": {15.9, 101.0},
+	"VN": {14.1, 108.3}, "ID": {-0.8, 113.9}, "MY": {4.2, 101.9},
+	"PH": {12.9, 121.8}, "TW": {23.7, 121.0}, "HK": {22.4, 114.1},
+	"NZ": {-40.9, 174.9}, "UA": {48.4, 31.2}, "CN": {35.9, 104.2},
+	"KN": {17.36, -62.75}, // Saint Kitts and Nevis — the paper's no-PoP example
+}
+
+// Centroid returns an approximate (lat, lon) centroid for the country code.
+// Unknown codes get a deterministic pseudo-centroid in habitable latitudes
+// so that scatter plots disperse plausibly.
+func Centroid(cc string) (lat, lon float64) {
+	if c, ok := knownCentroids[cc]; ok {
+		return c[0], c[1]
+	}
+	h := iputil.HashString("centroid:" + cc)
+	lat = -50 + float64(h%120_000)/1000.0        // [-50, 70)
+	lon = -180 + float64((h>>17)%360_000)/1000.0 // [-180, 180)
+	return lat, lon
+}
+
+// IsCountryCode reports whether cc is one of the assigned alpha-2 codes.
+func IsCountryCode(cc string) bool {
+	_, ok := countryCodeSet[cc]
+	return ok
+}
+
+var countryCodeSet = func() map[string]struct{} {
+	m := make(map[string]struct{}, len(AllCountryCodes))
+	for _, cc := range AllCountryCodes {
+		m[cc] = struct{}{}
+	}
+	return m
+}()

@@ -1,0 +1,109 @@
+package geo
+
+import (
+	"errors"
+	"math"
+	"strings"
+)
+
+// DistanceKm returns the great-circle distance between two points via
+// the haversine formula — the latency model's propagation input.
+func DistanceKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadiusKm = 6371
+	rad := func(d float64) float64 { return d * math.Pi / 180 }
+	dLat := rad(lat2 - lat1)
+	dLon := rad(lon2 - lon1)
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(rad(lat1))*math.Cos(rad(lat2))*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Sqrt(a))
+}
+
+// geohashBase32 is the standard geohash alphabet.
+const geohashBase32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+// ErrBadGeohash is returned for strings outside the geohash alphabet.
+var ErrBadGeohash = errors.New("geo: invalid geohash")
+
+// EncodeGeohash returns the geohash of (lat, lon) at the given precision
+// (number of base-32 characters, 1..12). iCloud Private Relay transmits a
+// coarse geohash of the client location to the egress when the user keeps
+// "maintain general location" enabled.
+func EncodeGeohash(lat, lon float64, precision int) string {
+	if precision < 1 {
+		precision = 1
+	}
+	if precision > 12 {
+		precision = 12
+	}
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	var sb strings.Builder
+	sb.Grow(precision)
+	evenBit := true
+	idx := 0
+	bit := 0
+	for sb.Len() < precision {
+		if evenBit {
+			mid := (lonLo + lonHi) / 2
+			if lon >= mid {
+				idx = idx*2 + 1
+				lonLo = mid
+			} else {
+				idx = idx * 2
+				lonHi = mid
+			}
+		} else {
+			mid := (latLo + latHi) / 2
+			if lat >= mid {
+				idx = idx*2 + 1
+				latLo = mid
+			} else {
+				idx = idx * 2
+				latHi = mid
+			}
+		}
+		evenBit = !evenBit
+		bit++
+		if bit == 5 {
+			sb.WriteByte(geohashBase32[idx])
+			bit, idx = 0, 0
+		}
+	}
+	return sb.String()
+}
+
+// DecodeGeohash returns the center point of the cell named by hash.
+func DecodeGeohash(hash string) (lat, lon float64, err error) {
+	if hash == "" {
+		return 0, 0, ErrBadGeohash
+	}
+	latLo, latHi := -90.0, 90.0
+	lonLo, lonHi := -180.0, 180.0
+	evenBit := true
+	for _, c := range strings.ToLower(hash) {
+		idx := strings.IndexRune(geohashBase32, c)
+		if idx < 0 {
+			return 0, 0, ErrBadGeohash
+		}
+		for b := 4; b >= 0; b-- {
+			bit := idx >> b & 1
+			if evenBit {
+				mid := (lonLo + lonHi) / 2
+				if bit == 1 {
+					lonLo = mid
+				} else {
+					lonHi = mid
+				}
+			} else {
+				mid := (latLo + latHi) / 2
+				if bit == 1 {
+					latLo = mid
+				} else {
+					latHi = mid
+				}
+			}
+			evenBit = !evenBit
+		}
+	}
+	return (latLo + latHi) / 2, (lonLo + lonHi) / 2, nil
+}

@@ -1,0 +1,34 @@
+package iputil_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+func ExampleTrie() {
+	var table iputil.Trie[string]
+	table.Insert(netip.MustParsePrefix("23.0.0.0/8"), "AkamaiEdge")
+	table.Insert(netip.MustParsePrefix("23.32.0.0/11"), "AkamaiPR")
+
+	pfx, origin, _ := table.Lookup(netip.MustParseAddr("23.34.5.6"))
+	fmt.Println(pfx, origin)
+	pfx, origin, _ = table.Lookup(netip.MustParseAddr("23.200.0.1"))
+	fmt.Println(pfx, origin)
+	// Output:
+	// 23.32.0.0/11 AkamaiPR
+	// 23.0.0.0/8 AkamaiEdge
+}
+
+func ExampleSubnets() {
+	// Enumerate the /24 client subnets of an announcement, as the ECS
+	// scanner does over the routed universe.
+	n := 0
+	iputil.Subnets(netip.MustParsePrefix("198.51.100.0/22"), 24, func(p netip.Prefix) bool {
+		n++
+		return true
+	})
+	fmt.Println(n, "subnets")
+	// Output: 4 subnets
+}

@@ -1,0 +1,231 @@
+package iputil
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// Trie is a binary radix trie over IP prefixes supporting insertion,
+// exact lookup, and longest-prefix-match. IPv4 and IPv6 prefixes live in
+// separate sub-tries, so a trie can hold a full dual-stack routing table.
+//
+// The zero value is ready to use. Trie is not safe for concurrent mutation;
+// concurrent readers are safe once the trie is built.
+type Trie[V any] struct {
+	v4, v6 *trieNode[V]
+	size   int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Len returns the number of prefixes stored in the trie.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores val under prefix p, replacing any previous value.
+// It reports whether the prefix was newly inserted (false on replace).
+// Invalid prefixes are ignored and report false.
+func (t *Trie[V]) Insert(p netip.Prefix, val V) bool {
+	p = CanonicalPrefix(p)
+	if !p.IsValid() {
+		return false
+	}
+	root := t.root(p.Addr(), true)
+	n := root
+	for i := 0; i < p.Bits(); i++ {
+		b := addrBit(p.Addr(), i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	fresh := !n.set
+	n.val = val
+	n.set = true
+	if fresh {
+		t.size++
+	}
+	return fresh
+}
+
+// Get returns the value stored under exactly prefix p.
+func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
+	var zero V
+	p = CanonicalPrefix(p)
+	if !p.IsValid() {
+		return zero, false
+	}
+	n := t.root(p.Addr(), false)
+	if n == nil {
+		return zero, false
+	}
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[addrBit(p.Addr(), i)]
+		if n == nil {
+			return zero, false
+		}
+	}
+	if !n.set {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Lookup performs a longest-prefix match for addr and returns the matched
+// prefix, its value, and whether any prefix matched.
+func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
+	var zero V
+	addr = Canonical(addr)
+	if !addr.IsValid() {
+		return netip.Prefix{}, zero, false
+	}
+	n := t.root(addr, false)
+	if n == nil {
+		return netip.Prefix{}, zero, false
+	}
+	bestBits := -1
+	var bestVal V
+	depth := 0
+	for {
+		if n.set {
+			bestBits = depth
+			bestVal = n.val
+		}
+		maxBits := 128
+		if addr.Is4() {
+			maxBits = 32
+		}
+		if depth == maxBits {
+			break
+		}
+		n = n.child[addrBit(addr, depth)]
+		if n == nil {
+			break
+		}
+		depth++
+	}
+	if bestBits < 0 {
+		return netip.Prefix{}, zero, false
+	}
+	return netip.PrefixFrom(addr, bestBits).Masked(), bestVal, true
+}
+
+// Delete removes prefix p from the trie, reporting whether it was present.
+// Interior nodes are left in place; the trie is append-mostly in practice.
+func (t *Trie[V]) Delete(p netip.Prefix) bool {
+	p = CanonicalPrefix(p)
+	if !p.IsValid() {
+		return false
+	}
+	n := t.root(p.Addr(), false)
+	if n == nil {
+		return false
+	}
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[addrBit(p.Addr(), i)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val = zero
+	n.set = false
+	t.size--
+	return true
+}
+
+// Walk visits every stored prefix/value pair in unspecified order, stopping
+// early if fn returns false. It reports whether the walk ran to completion.
+func (t *Trie[V]) Walk(fn func(netip.Prefix, V) bool) bool {
+	for _, fam := range []struct {
+		root *trieNode[V]
+		base netip.Addr
+	}{
+		{t.v4, netip.AddrFrom4([4]byte{})},
+		{t.v6, netip.AddrFrom16([16]byte{})},
+	} {
+		if fam.root == nil {
+			continue
+		}
+		if !walkNode(fam.root, fam.base, 0, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Prefixes returns all stored prefixes sorted by address then length.
+func (t *Trie[V]) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, t.size)
+	t.Walk(func(p netip.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Addr().Compare(out[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+func walkNode[V any](n *trieNode[V], addr netip.Addr, depth int, fn func(netip.Prefix, V) bool) bool {
+	if n.set {
+		if !fn(netip.PrefixFrom(addr, depth).Masked(), n.val) {
+			return false
+		}
+	}
+	if n.child[0] != nil {
+		if !walkNode(n.child[0], addr, depth+1, fn) {
+			return false
+		}
+	}
+	if n.child[1] != nil {
+		if !walkNode(n.child[1], setAddrBit(addr, depth), depth+1, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Trie[V]) root(addr netip.Addr, create bool) *trieNode[V] {
+	if addr.Is4() {
+		if t.v4 == nil && create {
+			t.v4 = &trieNode[V]{}
+		}
+		return t.v4
+	}
+	if t.v6 == nil && create {
+		t.v6 = &trieNode[V]{}
+	}
+	return t.v6
+}
+
+// addrBit returns bit i (0 = most significant) of the address.
+func addrBit(addr netip.Addr, i int) int {
+	if addr.Is4() {
+		b := addr.As4()
+		return int(b[i/8]>>(7-i%8)) & 1
+	}
+	b := addr.As16()
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+// setAddrBit returns addr with bit i (0 = most significant) set to one.
+func setAddrBit(addr netip.Addr, i int) netip.Addr {
+	if addr.Is4() {
+		b := addr.As4()
+		b[i/8] |= 1 << (7 - i%8)
+		return netip.AddrFrom4(b)
+	}
+	b := addr.As16()
+	b[i/8] |= 1 << (7 - i%8)
+	return netip.AddrFrom16(b)
+}

@@ -1,0 +1,323 @@
+package masque
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Client is a Private Relay client: one tunnel through an ingress to an
+// egress, multiplexing any number of proxied streams (the real service
+// combines multiple connections within a single proxy connection, §2).
+type Client struct {
+	// IngressAddr and EgressAddr are "host:port" endpoints.
+	IngressAddr string
+	EgressAddr  string
+	// Token authenticates at the ingress.
+	Token string
+	// Geohash is the coarse client location forwarded to the egress when
+	// the user keeps region-preserving mode on (may be empty).
+	Geohash string
+	// Dialer opens the client→ingress leg; nil uses net.Dialer.
+	Dialer Dialer
+
+	mu       sync.Mutex
+	conn     net.Conn
+	nextID   uint32
+	streams  map[uint32]*Stream
+	udpFlows map[uint32]*UDPFlow
+	readErr  error
+	closed   bool
+}
+
+// Client errors.
+var (
+	ErrAuthRejected  = errors.New("masque: ingress rejected authentication")
+	ErrTunnelClosed  = errors.New("masque: tunnel closed")
+	ErrConnectFailed = errors.New("masque: egress could not reach target")
+)
+
+// Dial establishes the tunnel: TCP to the ingress, AUTH, AUTH_OK.
+func (c *Client) Dial() error {
+	d := c.Dialer
+	if d == nil {
+		d = &net.Dialer{}
+	}
+	conn, err := d.Dial("tcp", c.IngressAddr)
+	if err != nil {
+		return fmt.Errorf("masque: dial ingress: %w", err)
+	}
+	if err := WriteFrame(conn, &Frame{
+		Type:    FrameAuth,
+		Payload: AuthPayload(c.Token, c.EgressAddr),
+	}); err != nil {
+		conn.Close()
+		return err
+	}
+	br := bufio.NewReader(conn)
+	f, err := ReadFrame(br)
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("masque: waiting for auth reply: %w", err)
+	}
+	if f.Type != FrameAuthOK {
+		conn.Close()
+		return fmt.Errorf("%w: %s", ErrAuthRejected, f.Payload)
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.nextID = 1
+	c.streams = make(map[uint32]*Stream)
+	c.udpFlows = make(map[uint32]*UDPFlow)
+	c.mu.Unlock()
+	go c.demux(br)
+	return nil
+}
+
+// Close tears the tunnel down; all streams fail with ErrTunnelClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// demux routes incoming frames to their streams.
+func (c *Client) demux(br *bufio.Reader) {
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			streams := c.streams
+			flows := c.udpFlows
+			c.streams = map[uint32]*Stream{}
+			c.udpFlows = map[uint32]*UDPFlow{}
+			c.mu.Unlock()
+			for _, s := range streams {
+				s.fail(ErrTunnelClosed)
+			}
+			for _, u := range flows {
+				u.setupDone(netip.Addr{}, ErrTunnelClosed)
+				u.closeInbox()
+			}
+			return
+		}
+		c.mu.Lock()
+		s := c.streams[f.StreamID]
+		u := c.udpFlows[f.StreamID]
+		c.mu.Unlock()
+		switch {
+		case s != nil:
+			switch f.Type {
+			case FrameConnectOK:
+				addr, _ := netip.ParseAddr(string(f.Payload))
+				s.setupDone(addr, nil)
+			case FrameConnectEr:
+				s.setupDone(netip.Addr{}, fmt.Errorf("%w: %s", ErrConnectFailed, f.Payload))
+			case FrameData:
+				s.deliver(f.Payload)
+			case FrameClose:
+				s.closeRead()
+			}
+		case u != nil:
+			switch f.Type {
+			case FrameConnectOK:
+				addr, _ := netip.ParseAddr(string(f.Payload))
+				u.setupDone(addr, nil)
+			case FrameConnectEr:
+				u.setupDone(netip.Addr{}, fmt.Errorf("%w: %s", ErrConnectFailed, f.Payload))
+			case FrameDatagram:
+				u.deliver(f.Payload)
+			case FrameClose:
+				u.closeInbox()
+			}
+		}
+	}
+}
+
+// writeFrame serializes one frame into the tunnel.
+func (c *Client) writeFrame(f *Frame) error {
+	c.mu.Lock()
+	conn := c.conn
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || conn == nil {
+		return ErrTunnelClosed
+	}
+	return WriteFrame(conn, f)
+}
+
+// Open proxies a new connection to target ("host:port") through the
+// tunnel and returns the stream plus the egress address the relay chose
+// for it.
+func (c *Client) Open(target string) (*Stream, netip.Addr, error) {
+	c.mu.Lock()
+	if c.closed || c.conn == nil {
+		c.mu.Unlock()
+		return nil, netip.Addr{}, ErrTunnelClosed
+	}
+	id := c.nextID
+	c.nextID++
+	s := &Stream{
+		client: c,
+		id:     id,
+		setup:  make(chan struct{}),
+		data:   make(chan []byte, 64),
+	}
+	c.streams[id] = s
+	c.mu.Unlock()
+
+	sealed := Seal(EgressIDForAddr(c.EgressAddr), ConnectPayload(target, c.Geohash))
+	if err := c.writeFrame(&Frame{Type: FrameConnect, StreamID: id, Payload: sealed}); err != nil {
+		c.dropStream(id)
+		return nil, netip.Addr{}, err
+	}
+	<-s.setup
+	if s.setupErr != nil {
+		c.dropStream(id)
+		return nil, netip.Addr{}, s.setupErr
+	}
+	return s, s.egressAddr, nil
+}
+
+func (c *Client) dropStream(id uint32) {
+	c.mu.Lock()
+	delete(c.streams, id)
+	c.mu.Unlock()
+}
+
+// Stream is one proxied connection. It implements io.ReadWriteCloser.
+type Stream struct {
+	client *Client
+	id     uint32
+
+	setup      chan struct{}
+	setupOnce  sync.Once
+	setupErr   error
+	egressAddr netip.Addr
+
+	mu      sync.Mutex
+	data    chan []byte
+	pending []byte
+	rclosed bool
+	failErr error
+}
+
+// EgressAddr returns the egress address the relay selected for this stream.
+func (s *Stream) EgressAddr() netip.Addr { return s.egressAddr }
+
+func (s *Stream) setupDone(addr netip.Addr, err error) {
+	s.setupOnce.Do(func() {
+		s.egressAddr = addr
+		s.setupErr = err
+		close(s.setup)
+	})
+}
+
+func (s *Stream) deliver(p []byte) {
+	buf := append([]byte(nil), p...)
+	for {
+		s.mu.Lock()
+		if s.rclosed {
+			s.mu.Unlock()
+			return
+		}
+		select {
+		case s.data <- buf:
+			s.mu.Unlock()
+			return
+		default:
+		}
+		s.mu.Unlock()
+		// Buffer full: apply backpressure to the demux loop without
+		// racing against a concurrent close of the channel.
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (s *Stream) closeRead() {
+	s.mu.Lock()
+	if !s.rclosed {
+		s.rclosed = true
+		close(s.data)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Stream) fail(err error) {
+	s.setupDone(netip.Addr{}, err)
+	s.mu.Lock()
+	if !s.rclosed {
+		s.rclosed = true
+		s.failErr = err
+		close(s.data)
+	}
+	s.mu.Unlock()
+}
+
+// Read implements io.Reader.
+func (s *Stream) Read(p []byte) (int, error) {
+	if len(s.pending) > 0 {
+		n := copy(p, s.pending)
+		s.pending = s.pending[n:]
+		return n, nil
+	}
+	buf, ok := <-s.data
+	if !ok {
+		s.mu.Lock()
+		err := s.failErr
+		s.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		return 0, io.EOF
+	}
+	n := copy(p, buf)
+	if n < len(buf) {
+		s.pending = buf[n:]
+	}
+	return n, nil
+}
+
+// Write implements io.Writer.
+func (s *Stream) Write(p []byte) (int, error) {
+	const chunk = 16 * 1024
+	written := 0
+	for len(p) > 0 {
+		n := len(p)
+		if n > chunk {
+			n = chunk
+		}
+		if err := s.client.writeFrame(&Frame{Type: FrameData, StreamID: s.id, Payload: p[:n]}); err != nil {
+			return written, err
+		}
+		written += n
+		p = p[n:]
+	}
+	return written, nil
+}
+
+// Close sends a CLOSE for the stream and releases client state.
+func (s *Stream) Close() error {
+	err := s.client.writeFrame(&Frame{Type: FrameClose, StreamID: s.id})
+	s.client.dropStream(s.id)
+	s.closeRead()
+	if errors.Is(err, ErrTunnelClosed) {
+		return nil
+	}
+	return err
+}

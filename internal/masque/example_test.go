@@ -1,0 +1,35 @@
+package masque_test
+
+import (
+	"fmt"
+
+	"github.com/relay-networks/privaterelay/internal/masque"
+)
+
+func ExampleSeal() {
+	// CONNECT payloads travel client → egress through an ingress that
+	// must not learn the target: only the egress identity can unseal.
+	sealed := masque.Seal("egress@203.0.113.9:443", masque.ConnectPayload("example.org:443", "u4pr"))
+
+	if _, err := masque.Unseal("egress@other:443", sealed); err != nil {
+		fmt.Println("ingress cannot read it:", err)
+	}
+	plain, _ := masque.Unseal("egress@203.0.113.9:443", sealed)
+	fmt.Printf("egress reads: %q\n", plain)
+	// Output:
+	// ingress cannot read it: masque: sealed payload failed authentication
+	// egress reads: "example.org:443\nu4pr"
+}
+
+func ExampleTokenIssuer() {
+	issuer := masque.NewTokenIssuer("account-service-secret", 2)
+	tok, _ := issuer.Issue("alice", "2022-05-11")
+	fmt.Println("valid:", issuer.Validate(tok) == nil)
+
+	issuer.Issue("alice", "2022-05-11")
+	_, err := issuer.Issue("alice", "2022-05-11")
+	fmt.Println("third token:", err)
+	// Output:
+	// valid: true
+	// third token: masque: daily token quota exhausted
+}

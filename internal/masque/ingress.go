@@ -1,0 +1,179 @@
+package masque
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Dialer abstracts outbound connections so deployments can interpose
+// simulated networks; the zero value of net.Dialer satisfies it via Dial.
+type Dialer interface {
+	Dial(network, address string) (net.Conn, error)
+}
+
+// TokenValidator validates client access tokens (implemented by
+// TokenIssuer).
+type TokenValidator interface {
+	Validate(token string) error
+}
+
+// ConnRecord is one tunnel observed at the ingress: everything this hop
+// can see. Note the absence of any target information — the ingress pipes
+// sealed bytes it cannot parse.
+type ConnRecord struct {
+	ClientAddr string
+	EgressAddr string
+	Start      time.Time
+}
+
+// Ingress is a Private Relay ingress server: it authenticates clients,
+// connects them to their chosen egress and then blindly relays bytes.
+type Ingress struct {
+	// Validator checks AUTH tokens; nil accepts everything (open relay,
+	// used only in focused tests).
+	Validator TokenValidator
+	// Dialer opens the ingress→egress leg; nil uses net.Dialer.
+	Dialer Dialer
+	// AllowedEgress optionally restricts which egress addresses clients
+	// may request; nil allows any.
+	AllowedEgress map[string]bool
+
+	mu      sync.Mutex
+	ln      net.Listener
+	records []ConnRecord
+	wg      sync.WaitGroup
+}
+
+// Serve starts accepting on ln until ln is closed. It returns the
+// first accept error (net.ErrClosed after Close).
+func (ing *Ingress) Serve(ln net.Listener) error {
+	ing.mu.Lock()
+	ing.ln = ln
+	ing.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			ing.wg.Wait()
+			return err
+		}
+		ing.wg.Add(1)
+		go func() {
+			defer ing.wg.Done()
+			ing.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener; in-flight tunnels finish on their own.
+func (ing *Ingress) Close() error {
+	ing.mu.Lock()
+	ln := ing.ln
+	ing.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	return ln.Close()
+}
+
+// Records returns a copy of the connection log.
+func (ing *Ingress) Records() []ConnRecord {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return append([]ConnRecord(nil), ing.records...)
+}
+
+// handle runs one client tunnel.
+func (ing *Ingress) handle(client net.Conn) {
+	defer client.Close()
+	br := bufio.NewReader(client)
+
+	f, err := ReadFrame(br)
+	if err != nil || f.Type != FrameAuth {
+		return
+	}
+	token, egressAddr, ok := parseAuth(f.Payload)
+	if !ok {
+		_ = WriteFrame(client, &Frame{Type: FrameAuthErr, Payload: []byte("malformed auth")})
+		return
+	}
+	if ing.Validator != nil {
+		if err := ing.Validator.Validate(token); err != nil {
+			_ = WriteFrame(client, &Frame{Type: FrameAuthErr, Payload: []byte(err.Error())})
+			return
+		}
+	}
+	if ing.AllowedEgress != nil && !ing.AllowedEgress[egressAddr] {
+		_ = WriteFrame(client, &Frame{Type: FrameAuthErr, Payload: []byte("egress not allowed")})
+		return
+	}
+
+	d := ing.Dialer
+	if d == nil {
+		d = &net.Dialer{}
+	}
+	egress, err := d.Dial("tcp", egressAddr)
+	if err != nil {
+		_ = WriteFrame(client, &Frame{Type: FrameAuthErr, Payload: []byte("egress unreachable")})
+		return
+	}
+	defer egress.Close()
+
+	ing.mu.Lock()
+	ing.records = append(ing.records, ConnRecord{
+		ClientAddr: client.RemoteAddr().String(),
+		EgressAddr: egressAddr,
+		Start:      time.Now(),
+	})
+	ing.mu.Unlock()
+
+	if err := WriteFrame(client, &Frame{Type: FrameAuthOK}); err != nil {
+		return
+	}
+
+	// From here on the ingress is a dumb pipe: it can count bytes and see
+	// timing, but every CONNECT it forwards is sealed for the egress.
+	done := make(chan struct{}, 2)
+	go func() {
+		_, _ = io.Copy(egress, br)
+		_ = closeWrite(egress)
+		done <- struct{}{}
+	}()
+	go func() {
+		_, _ = io.Copy(client, egress)
+		_ = closeWrite(client)
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// closeWrite half-closes a TCP connection when supported.
+func closeWrite(c net.Conn) error {
+	if tc, ok := c.(*net.TCPConn); ok {
+		return tc.CloseWrite()
+	}
+	return nil
+}
+
+// AuthPayload encodes an AUTH frame body.
+func AuthPayload(token, egressAddr string) []byte {
+	return []byte(token + "\n" + egressAddr)
+}
+
+func parseAuth(payload []byte) (token, egressAddr string, ok bool) {
+	parts := strings.SplitN(string(payload), "\n", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", "", false
+	}
+	return parts[0], parts[1], true
+}
+
+// String renders a record for logs.
+func (r ConnRecord) String() string {
+	return fmt.Sprintf("client=%s egress=%s", r.ClientAddr, r.EgressAddr)
+}

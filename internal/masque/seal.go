@@ -1,0 +1,74 @@
+package masque
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The CONNECT payload travels client → egress through the ingress, which
+// must not learn the target. The real service achieves this with TLS to a
+// raw-public-key-pinned egress. The simulator seals payloads with a
+// keystream bound to the egress identity plus an HMAC: the ingress holds
+// no egress key, so the structural guarantee ("ingress forwards opaque
+// bytes") is faithful even though the toy cipher is not real cryptography.
+
+// ErrBadSeal is returned when unsealing fails authentication.
+var ErrBadSeal = errors.New("masque: sealed payload failed authentication")
+
+// sealKey derives the shared client↔egress key for an egress identity.
+func sealKey(egressID string) []byte {
+	sum := sha256.Sum256([]byte("masque-egress-key:" + egressID))
+	return sum[:]
+}
+
+// Seal encrypts-and-authenticates plaintext for the named egress.
+func Seal(egressID string, plaintext []byte) []byte {
+	key := sealKey(egressID)
+	out := make([]byte, len(plaintext))
+	keystream(key, out, plaintext)
+	mac := hmac.New(sha256.New, key)
+	mac.Write(out)
+	return append(mac.Sum(nil), out...)
+}
+
+// Unseal reverses Seal for the given egress identity.
+func Unseal(egressID string, sealed []byte) ([]byte, error) {
+	if len(sealed) < sha256.Size {
+		return nil, ErrBadSeal
+	}
+	key := sealKey(egressID)
+	tag, body := sealed[:sha256.Size], sealed[sha256.Size:]
+	mac := hmac.New(sha256.New, key)
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, ErrBadSeal
+	}
+	out := make([]byte, len(body))
+	keystream(key, out, body)
+	return out, nil
+}
+
+// keystream XORs src into dst with a SHA-256-based keystream.
+func keystream(key []byte, dst, src []byte) {
+	var block [sha256.Size]byte
+	for i := 0; i < len(src); i += sha256.Size {
+		h := sha256.New()
+		h.Write(key)
+		var ctr [8]byte
+		binary.BigEndian.PutUint64(ctr[:], uint64(i/sha256.Size))
+		h.Write(ctr[:])
+		h.Sum(block[:0])
+		for j := 0; j < sha256.Size && i+j < len(src); j++ {
+			dst[i+j] = src[i+j] ^ block[j]
+		}
+	}
+}
+
+// EgressIDForAddr names the egress identity used for sealing when the
+// client knows the egress by address.
+func EgressIDForAddr(hostport string) string {
+	return fmt.Sprintf("egress@%s", hostport)
+}

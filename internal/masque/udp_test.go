@@ -1,0 +1,186 @@
+package masque
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+// udpEchoServer answers each datagram with "src=<addr> " + payload,
+// reading the simulated source from the datagram preamble.
+func udpEchoServer(t *testing.T) (addr string, stop func()) {
+	t.Helper()
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64*1024)
+		for {
+			n, from, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			src, payload, _ := ParseDatagramPreamble(buf[:n])
+			resp := []byte(fmt.Sprintf("src=%s ", src))
+			resp = append(resp, payload...)
+			_, _ = pc.WriteTo(resp, from)
+		}
+	}()
+	return pc.LocalAddr().String(), func() { pc.Close(); wg.Wait() }
+}
+
+func TestUDPProxyEndToEnd(t *testing.T) {
+	target, stopTarget := udpEchoServer(t)
+	defer stopTarget()
+	pool := []netip.Addr{netip.MustParseAddr("172.224.224.1"), netip.MustParseAddr("104.16.0.1")}
+	cl, _, stop := relaySetup(t, &PerConnectionRotation{Pool: pool, Seed: 5})
+	defer stop()
+
+	flow, egAddr, err := cl.OpenUDP(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flow.Close()
+	if !egAddr.IsValid() || flow.EgressAddr() != egAddr {
+		t.Fatalf("egress addr: %v / %v", egAddr, flow.EgressAddr())
+	}
+
+	if err := flow.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := flow.Recv(3 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("src=%s ping", egAddr)
+	if string(resp) != want {
+		t.Fatalf("echo = %q, want %q", resp, want)
+	}
+}
+
+func TestUDPProxyPreservesMessageBoundaries(t *testing.T) {
+	target, stopTarget := udpEchoServer(t)
+	defer stopTarget()
+	cl, _, stop := relaySetup(t, &StickyRotation{Addr: netip.MustParseAddr("172.224.224.9")})
+	defer stop()
+
+	flow, _, err := cl.OpenUDP(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flow.Close()
+
+	// Three distinct datagrams must arrive as three messages, never
+	// coalesced like a byte stream would.
+	for i := 0; i < 3; i++ {
+		if err := flow.Send([]byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := flow.Recv(3 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(resp, []byte("src=")) {
+			t.Fatalf("datagram %d missing preamble echo: %q", i, resp)
+		}
+		seen[string(resp[len(resp)-1:])] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("datagrams coalesced: %v", seen)
+	}
+}
+
+func TestUDPProxyRotatesPerAssociation(t *testing.T) {
+	target, stopTarget := udpEchoServer(t)
+	defer stopTarget()
+	pool := []netip.Addr{
+		netip.MustParseAddr("172.224.224.1"), netip.MustParseAddr("172.224.224.2"),
+		netip.MustParseAddr("104.16.0.1"), netip.MustParseAddr("104.16.0.2"),
+	}
+	cl, _, stop := relaySetup(t, &PerConnectionRotation{Pool: pool, Seed: 6})
+	defer stop()
+
+	seen := map[netip.Addr]bool{}
+	for i := 0; i < 24; i++ {
+		flow, addr, err := cl.OpenUDP(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[addr] = true
+		flow.Close()
+	}
+	if len(seen) < 3 {
+		t.Fatalf("UDP associations used only %d egress addresses", len(seen))
+	}
+}
+
+func TestUDPRecvTimeout(t *testing.T) {
+	target, stopTarget := udpEchoServer(t)
+	defer stopTarget()
+	cl, _, stop := relaySetup(t, &StickyRotation{Addr: netip.MustParseAddr("172.224.224.9")})
+	defer stop()
+	flow, _, err := cl.OpenUDP(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flow.Close()
+	if _, err := flow.Recv(50 * time.Millisecond); !errors.Is(err, ErrTimeoutUDP) {
+		t.Fatalf("Recv on silent flow: %v", err)
+	}
+}
+
+func TestUDPOpenBadTarget(t *testing.T) {
+	cl, _, stop := relaySetup(t, &StickyRotation{Addr: netip.MustParseAddr("172.224.224.9")})
+	defer stop()
+	if _, _, err := cl.OpenUDP("not-a-valid:target:spec"); err == nil {
+		t.Fatal("bad UDP target accepted")
+	}
+}
+
+func TestUDPFlowAfterTunnelClose(t *testing.T) {
+	target, stopTarget := udpEchoServer(t)
+	defer stopTarget()
+	cl, _, stop := relaySetup(t, &StickyRotation{Addr: netip.MustParseAddr("172.224.224.9")})
+	flow, _, err := cl.OpenUDP(target)
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	stop() // tears the tunnel down
+	// Recv unblocks with an error once the tunnel dies.
+	if _, err := flow.Recv(2 * time.Second); err == nil {
+		t.Fatal("Recv succeeded after tunnel close")
+	}
+	if _, _, err := cl.OpenUDP(target); err == nil {
+		t.Fatal("OpenUDP on closed tunnel succeeded")
+	}
+}
+
+func TestParseDatagramPreamble(t *testing.T) {
+	src := netip.MustParseAddr("104.16.0.7")
+	pkt := append([]byte(SourcePreambleMagic+src.String()+"\n"), []byte("hello")...)
+	got, payload, ok := ParseDatagramPreamble(pkt)
+	if !ok || got != src || string(payload) != "hello" {
+		t.Fatalf("parse: %v %q %v", got, payload, ok)
+	}
+	// No preamble → passthrough.
+	if _, payload, ok := ParseDatagramPreamble([]byte("raw")); ok || string(payload) != "raw" {
+		t.Fatal("raw passthrough broken")
+	}
+	// Malformed preamble → passthrough.
+	if _, _, ok := ParseDatagramPreamble([]byte(SourcePreambleMagic + "zzz\nx")); ok {
+		t.Fatal("bad preamble accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+// allocator hands out aligned, non-overlapping IPv4 prefixes from the
+// unicast space, skipping a reserved list (service blocks, RFC 1918, etc).
+// Allocation is strictly sequential, so identical request sequences yield
+// identical layouts — part of the world's determinism.
+type allocator struct {
+	cursor   uint32 // next candidate address
+	limit    uint32 // exclusive upper bound
+	reserved []netip.Prefix
+}
+
+// newAllocator builds an allocator over [1.0.0.0, 224.0.0.0) with the given
+// reserved prefixes (which are sorted and may be unsorted on input).
+func newAllocator(reserved []netip.Prefix) *allocator {
+	rs := append([]netip.Prefix(nil), reserved...)
+	sort.Slice(rs, func(i, j int) bool {
+		return addrU32(rs[i].Addr()) < addrU32(rs[j].Addr())
+	})
+	return &allocator{
+		cursor:   1 << 24, // 1.0.0.0
+		limit:    224 << 24,
+		reserved: rs,
+	}
+}
+
+func addrU32(a netip.Addr) uint32 {
+	b := iputil.Canonical(a).As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func u32Addr(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// alloc returns the next free prefix of the given length, advancing the
+// cursor. It panics if the space is exhausted, which indicates a
+// miscalibrated world (caught immediately by the generation tests).
+func (a *allocator) alloc(bits int) netip.Prefix {
+	if bits < 8 || bits > 24 {
+		panic(fmt.Sprintf("netsim: unsupported allocation size /%d", bits))
+	}
+	size := uint32(1) << (32 - bits)
+	for {
+		// Align the cursor to the block size.
+		c := (a.cursor + size - 1) &^ (size - 1)
+		if c >= a.limit || c+size > a.limit {
+			panic("netsim: IPv4 allocation space exhausted — lower Scale")
+		}
+		p := netip.PrefixFrom(u32Addr(c), bits)
+		if hit, next := a.collide(p); hit {
+			a.cursor = next
+			continue
+		}
+		a.cursor = c + size
+		return p
+	}
+}
+
+// collide reports whether p overlaps a reserved block and, if so, the first
+// address past that block.
+func (a *allocator) collide(p netip.Prefix) (bool, uint32) {
+	for _, r := range a.reserved {
+		if r.Overlaps(p) {
+			end := addrU32(r.Addr()) + uint32(iputil.AddrCount(r))
+			return true, end
+		}
+	}
+	return false, 0
+}
+
+// reservedV4 lists blocks never handed to client ASes: special-use ranges
+// and the service operators' blocks.
+func reservedV4() []netip.Prefix {
+	specs := []string{
+		// Special-use.
+		"0.0.0.0/8", "10.0.0.0/8", "100.64.0.0/10", "127.0.0.0/8",
+		"169.254.0.0/16", "172.16.0.0/12", "192.0.0.0/24", "192.0.2.0/24",
+		"192.88.99.0/24", "192.168.0.0/16", "198.18.0.0/15",
+		"198.51.100.0/24", "203.0.113.0/24",
+		// Service operators (see service blocks in world.go).
+		"17.0.0.0/8",     // Apple
+		"172.224.0.0/12", // AkamaiPR block 1
+		"23.32.0.0/11",   // AkamaiPR block 2
+		"2.16.0.0/13",    // AkamaiEdge
+		"104.16.0.0/12",  // Cloudflare
+		"151.101.0.0/16", // Fastly block 1
+		"199.232.0.0/16", // Fastly block 2
+	}
+	out := make([]netip.Prefix, len(specs))
+	for i, s := range specs {
+		out[i] = netip.MustParsePrefix(s)
+	}
+	return out
+}

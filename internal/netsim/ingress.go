@@ -1,0 +1,255 @@
+package netsim
+
+import (
+	"net/netip"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+// Pool sizing: each pool is a stable superset from which monthly fleets
+// are cut as sliding windows, so consecutive months overlap heavily
+// (growth with light churn, as observed between the paper's four scans).
+const (
+	poolAppleDefault   = 380
+	poolAkamaiDefault  = 1300
+	poolAppleFallback  = 370
+	poolAkamaiFallback = 1100
+)
+
+// maxAnswerRecords is the maximum number of A/AAAA records per response,
+// matching the paper's observation of "up to eight different records".
+const maxAnswerRecords = 8
+
+// buildPools materializes every ingress relay address pool.
+func (w *World) buildPools() {
+	mk := func(as bgp.ASN, proto Proto, fam Family, n int) {
+		prefixes := w.ingressPfx[serviceKey{as, fam}]
+		pool := make([]netip.Addr, n)
+		for i := 0; i < n; i++ {
+			pfx := prefixes[i%len(prefixes)]
+			// Hosts are packed densely from offset 1; each prefix holds
+			// far more hosts than pool/len(prefixes), so no collisions.
+			host := uint64(1 + i/len(prefixes))
+			pool[i] = iputil.AddrAtIndex(pfx, host)
+		}
+		w.pools[poolKey{as, proto, fam}] = pool
+	}
+	mk(ASApple, ProtoDefault, FamilyV4, poolAppleDefault)
+	mk(ASAkamaiPR, ProtoDefault, FamilyV4, poolAkamaiDefault)
+	mk(ASApple, ProtoFallback, FamilyV4, poolAppleFallback)
+	mk(ASAkamaiPR, ProtoFallback, FamilyV4, poolAkamaiFallback)
+	// IPv6 pools are sized exactly to the (single) April observation.
+	mk(ASApple, ProtoDefault, FamilyV6, w.Params.V6Fleet.Apple)
+	mk(ASAkamaiPR, ProtoDefault, FamilyV6, w.Params.V6Fleet.Akamai)
+	mk(ASApple, ProtoFallback, FamilyV6, w.Params.V6Fleet.Apple)
+	mk(ASAkamaiPR, ProtoFallback, FamilyV6, w.Params.V6Fleet.Akamai)
+}
+
+// fleetSize returns the configured fleet size for the month and plane.
+func (w *World) fleetSize(month bgp.Month, proto Proto) FleetSizes {
+	if proto == ProtoFallback {
+		return w.Params.FallbackFleet[month]
+	}
+	return w.Params.DefaultFleet[month]
+}
+
+// monthIndex returns the scan index of month (0 for January 2022).
+func monthIndex(m bgp.Month) int {
+	for i, sm := range ScanMonths {
+		if sm == m {
+			return i
+		}
+	}
+	return 0
+}
+
+// IngressFleet returns the relay addresses of one operator active in the
+// given month/plane/family. The phase parameter shifts the fleet window by
+// phase addresses, modeling fleet churn between two scans run at slightly
+// different times (the RIPE Atlas validation in §4.1 found exactly one
+// address the concurrent ECS scan did not).
+func (w *World) IngressFleet(as bgp.ASN, month bgp.Month, proto Proto, fam Family, phase int) []netip.Addr {
+	pool := w.pools[poolKey{as, proto, fam}]
+	if len(pool) == 0 {
+		return nil
+	}
+	var n int
+	if fam == FamilyV6 {
+		// A single IPv6 fleet was observed (April); it is month-invariant.
+		n = len(pool)
+	} else {
+		sizes := w.fleetSize(month, proto)
+		if as == ASApple {
+			n = sizes.Apple
+		} else {
+			n = sizes.Akamai
+		}
+	}
+	if n <= 0 {
+		return nil
+	}
+	if n > len(pool) {
+		n = len(pool)
+	}
+	// Sliding window: later months start slightly further into the pool,
+	// so fleets mostly grow while a few early members rotate out.
+	start := monthIndex(month)*5 + phase
+	out := make([]netip.Addr, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[(start+i)%len(pool)]
+	}
+	return out
+}
+
+// FleetUnion returns both operators' fleets merged, with AS attribution.
+func (w *World) FleetUnion(month bgp.Month, proto Proto, fam Family, phase int) map[netip.Addr]bgp.ASN {
+	out := make(map[netip.Addr]bgp.ASN)
+	for _, addr := range w.IngressFleet(ASApple, month, proto, fam, phase) {
+		out[addr] = ASApple
+	}
+	for _, addr := range w.IngressFleet(ASAkamaiPR, month, proto, fam, phase) {
+		out[addr] = ASAkamaiPR
+	}
+	return out
+}
+
+// ServingAS decides which ingress operator serves a client /24 on the
+// given plane and month. Assignment reproduces the Table 2 structure:
+// whole ASes are Akamai-only or Apple-only, and inside "both" ASes the
+// split is per-/24 with Apple at 76 %. The fallback plane was served
+// entirely by Apple until Akamai fallback capacity appeared in March.
+func (w *World) ServingAS(subnet netip.Prefix, month bgp.Month, proto Proto) (bgp.ASN, bool) {
+	client, ok := w.ClientOf(subnet.Addr())
+	if !ok {
+		return 0, false
+	}
+	akamaiShare := func(pct uint64) bgp.ASN {
+		h := iputil.Mix(iputil.HashPrefix(iputil.CanonicalPrefix(subnet)), w.seed^0xA5)
+		if h%100 < pct {
+			return ASAkamaiPR
+		}
+		return ASApple
+	}
+	var serving bgp.ASN
+	switch client.Group {
+	case GroupAkamaiOnly:
+		serving = ASAkamaiPR
+	case GroupAppleOnly:
+		serving = ASApple
+	default:
+		serving = akamaiShare(100 - appleShareInBothPct)
+	}
+	if proto == ProtoFallback && serving == ASAkamaiPR {
+		// Fallback capacity at Akamai ramps up: none before March, partial
+		// in March, full in April (Table 1's fallback columns).
+		switch {
+		case month.Before(MonthMar):
+			serving = ASApple
+		case month == MonthMar:
+			h := iputil.Mix(iputil.HashPrefix(subnet), w.seed^0x7C)
+			if h%100 >= 7 {
+				serving = ASApple
+			}
+		}
+	}
+	return serving, true
+}
+
+// AnswerScope returns the ECS scope prefix length the authoritative server
+// attaches when answering for subnet: /24 inside "both" ASes (operator
+// varies per /24) and the covering route's length for single-operator
+// ASes, where one answer is valid for the whole announcement. The scanner
+// exploits scopes shorter than /24 to skip queries (§7).
+func (w *World) AnswerScope(subnet netip.Prefix) (uint8, bool) {
+	client, ok := w.ClientOf(subnet.Addr())
+	if !ok {
+		return 0, false
+	}
+	if client.Group == GroupBoth {
+		return 24, true
+	}
+	route, _, ok := w.Table.Route(subnet.Addr())
+	if !ok {
+		return 24, true
+	}
+	return uint8(route.Bits()), true
+}
+
+// answerKey returns the hash key that selects answer records for a client
+// subnet: the /24 inside "both" ASes, the covering route otherwise (so the
+// advertised scope is honest — one answer per scope).
+func (w *World) answerKey(subnet netip.Prefix) (uint64, bool) {
+	client, ok := w.ClientOf(subnet.Addr())
+	if !ok {
+		return 0, false
+	}
+	if client.Group == GroupBoth {
+		return iputil.HashPrefix(iputil.CanonicalPrefix(subnet)), true
+	}
+	route, _, ok := w.Table.Route(subnet.Addr())
+	if !ok {
+		return iputil.HashPrefix(iputil.CanonicalPrefix(subnet)), true
+	}
+	return iputil.HashPrefix(route), true
+}
+
+// IngressAnswer returns the up-to-eight A records the authoritative name
+// server serves for an ECS query with the given client subnet, for the
+// month/plane. Record selection is deterministic per (subnet, month).
+func (w *World) IngressAnswer(subnet netip.Prefix, month bgp.Month, proto Proto) []netip.Addr {
+	serving, ok := w.ServingAS(subnet, month, proto)
+	if !ok {
+		return nil
+	}
+	key, _ := w.answerKey(subnet)
+	fleet := w.IngressFleet(serving, month, proto, FamilyV4, 0)
+	if len(fleet) == 0 {
+		// Plane not yet deployed at this operator: Apple serves it.
+		fleet = w.IngressFleet(ASApple, month, proto, FamilyV4, 0)
+		if len(fleet) == 0 {
+			return nil
+		}
+	}
+	return pickAnswers(fleet, key, month, proto)
+}
+
+// IngressAnswerV6 returns the AAAA records served to a resolver identified
+// by key (the server has no per-subnet view for IPv6 — it answers with
+// scope 0, §3). The Apple/Akamai split matches the April IPv6 shares.
+func (w *World) IngressAnswerV6(key uint64, month bgp.Month, proto Proto) []netip.Addr {
+	serving := ASAkamaiPR
+	// 346/1575 ≈ 22 % of IPv6 relays sit at Apple.
+	if iputil.Mix(key, w.seed^0x6A)%100 < 22 {
+		serving = ASApple
+	}
+	fleet := w.IngressFleet(serving, month, proto, FamilyV6, 0)
+	return pickAnswers(fleet, key, month, proto)
+}
+
+// pickAnswers deterministically selects up to maxAnswerRecords distinct
+// fleet members for a key.
+func pickAnswers(fleet []netip.Addr, key uint64, month bgp.Month, proto Proto) []netip.Addr {
+	if len(fleet) == 0 {
+		return nil
+	}
+	n := maxAnswerRecords
+	if n > len(fleet) {
+		n = len(fleet)
+	}
+	salt := uint64(monthIndex(month))<<8 | uint64(proto)
+	out := make([]netip.Addr, 0, n)
+	seen := make(map[netip.Addr]bool, n)
+	for k := 0; len(out) < n; k++ {
+		idx := iputil.Mix(key, salt+uint64(k)*0x9E37) % uint64(len(fleet))
+		a := fleet[idx]
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+		if k > 16*n { // fleet smaller than n after dedup pressure
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+// Package netsim generates a deterministic, seeded model of the slice of
+// the Internet that the iCloud Private Relay measurement study touches:
+// the five service ASes, a population of client ASes with routed prefixes,
+// the monthly ingress relay fleets, per-/24 serving-operator assignment,
+// and a router-level topology with last-hop attribution for traceroutes.
+//
+// Everything is a pure function of Params, so scans, tests and benchmarks
+// reproduce identical worlds. The world's shape is calibrated to the
+// counts the paper publishes (Tables 1–2, §4.1, §6); the Scale parameter
+// shrinks the *client* universe (number of ASes and routed /24s) while
+// keeping service-side structures at paper scale.
+package netsim
+
+import (
+	"github.com/relay-networks/privaterelay/internal/bgp"
+)
+
+// Well-known service ASes from the paper.
+const (
+	ASApple      bgp.ASN = 714   // ingress operator (default + fallback)
+	ASAkamaiPR   bgp.ASN = 36183 // "Akamai private relay" AS: ingress AND egress
+	ASAkamaiEdge bgp.ASN = 20940 // classic Akamai edge AS: egress only
+	ASCloudflare bgp.ASN = 13335 // egress only
+	ASFastly     bgp.ASN = 54113 // egress only
+)
+
+// ASName returns a human-readable operator name for the service ASes and
+// a generic label for client ASes.
+func ASName(as bgp.ASN) string {
+	switch as {
+	case ASApple:
+		return "Apple"
+	case ASAkamaiPR:
+		return "AkamaiPR"
+	case ASAkamaiEdge:
+		return "AkamaiEdge"
+	case ASCloudflare:
+		return "Cloudflare"
+	case ASFastly:
+		return "Fastly"
+	}
+	return as.String()
+}
+
+// Proto distinguishes the two ingress relay planes.
+type Proto int
+
+// Relay planes: the QUIC service resolved via mask.icloud.com and the
+// TCP (HTTP/2 + TLS 1.3) fallback resolved via mask-h2.icloud.com.
+const (
+	ProtoDefault  Proto = iota // QUIC — mask.icloud.com
+	ProtoFallback              // TCP fallback — mask-h2.icloud.com
+)
+
+// String returns the plane name used in Table 1.
+func (p Proto) String() string {
+	if p == ProtoFallback {
+		return "fallback"
+	}
+	return "default"
+}
+
+// Family selects an address family.
+type Family int
+
+// Address families.
+const (
+	FamilyV4 Family = iota
+	FamilyV6
+)
+
+// String returns "IPv4" or "IPv6".
+func (f Family) String() string {
+	if f == FamilyV6 {
+		return "IPv6"
+	}
+	return "IPv4"
+}
+
+// ServeGroup classifies a client AS by which ingress operator serves its
+// subnets (Table 2's three rows).
+type ServeGroup int
+
+// Client AS service groups.
+const (
+	GroupAkamaiOnly ServeGroup = iota
+	GroupAppleOnly
+	GroupBoth
+)
+
+// String names the group as in Table 2.
+func (g ServeGroup) String() string {
+	switch g {
+	case GroupAkamaiOnly:
+		return "AkamaiPR"
+	case GroupAppleOnly:
+		return "Apple"
+	default:
+		return "Both"
+	}
+}
+
+// Months covered by the paper's four ECS scans.
+var (
+	MonthJan = bgp.Month{Year: 2022, M: 1}
+	MonthFeb = bgp.Month{Year: 2022, M: 2}
+	MonthMar = bgp.Month{Year: 2022, M: 3}
+	MonthApr = bgp.Month{Year: 2022, M: 4}
+
+	// ScanMonths is the chronological scan schedule.
+	ScanMonths = []bgp.Month{MonthJan, MonthFeb, MonthMar, MonthApr}
+)
+
+// FleetSizes holds per-month ingress relay counts per operator,
+// calibrated to Table 1 of the paper.
+type FleetSizes struct {
+	Apple  int
+	Akamai int
+}
+
+// Params configures world generation.
+type Params struct {
+	// Seed drives every deterministic choice in the world.
+	Seed uint64
+
+	// Scale in (0, 1] shrinks the client universe: AS counts and per-AS
+	// subnet sizes are multiplied by it. 1.0 reproduces paper scale
+	// (~72 k client ASes, ~12 M routed /24s). Zero defaults to 0.002.
+	Scale float64
+
+	// DefaultFleet and FallbackFleet size the monthly ingress fleets.
+	// Nil defaults to the paper's Table 1 values.
+	DefaultFleet  map[bgp.Month]FleetSizes
+	FallbackFleet map[bgp.Month]FleetSizes
+
+	// V6Fleet sizes the IPv6 ingress fleet observed in April (§4.1:
+	// 346 Apple + 1229 AkamaiPR). Zero values default to those counts.
+	V6Fleet FleetSizes
+}
+
+// Table 1 of the paper. January's fallback scan is absent; the fallback
+// plane at that time was Apple-served, matching February's observation.
+var paperDefaultFleet = map[bgp.Month]FleetSizes{
+	MonthJan: {Apple: 365, Akamai: 823},
+	MonthFeb: {Apple: 355, Akamai: 845},
+	MonthMar: {Apple: 347, Akamai: 945},
+	MonthApr: {Apple: 349, Akamai: 1237},
+}
+
+var paperFallbackFleet = map[bgp.Month]FleetSizes{
+	MonthJan: {Apple: 356, Akamai: 0},
+	MonthFeb: {Apple: 356, Akamai: 0},
+	MonthMar: {Apple: 334, Akamai: 25},
+	MonthApr: {Apple: 336, Akamai: 1062},
+}
+
+// withDefaults fills unset fields with paper-calibrated values.
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 0.002
+	}
+	if p.Scale > 1 {
+		p.Scale = 1
+	}
+	if p.DefaultFleet == nil {
+		p.DefaultFleet = paperDefaultFleet
+	}
+	if p.FallbackFleet == nil {
+		p.FallbackFleet = paperFallbackFleet
+	}
+	if p.V6Fleet.Apple == 0 && p.V6Fleet.Akamai == 0 {
+		p.V6Fleet = FleetSizes{Apple: 346, Akamai: 1229}
+	}
+	return p
+}
+
+// Client-universe calibration (Table 2 at Scale = 1).
+const (
+	paperAkamaiOnlyASes = 34627
+	paperAppleOnlyASes  = 20807
+	paperBothASes       = 17301
+
+	paperAkamaiOnlyPop = 994_000_000
+	paperAppleOnlyPop  = 105_000_000
+	paperBothPop       = 2_373_000_000
+
+	// Within "both" ASes, Apple serves 76 % of subnets (Table 2 footnote).
+	appleShareInBothPct = 76
+)

@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+// Robustness sweep: the calibration invariants must hold for any seed
+// and scale, not just the fixtures the other tests use. Each invariant
+// here is a paper-reported property the rest of the pipeline depends on.
+func TestWorldInvariantsAcrossSeedsAndScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	for _, seed := range []uint64{0, 1, 999, 123456789} {
+		for _, scale := range []float64{0.0003, 0.0015} {
+			seed, scale := seed, scale
+			t.Run(fmt.Sprintf("seed=%d/scale=%g", seed, scale), func(t *testing.T) {
+				w := NewWorld(Params{Seed: seed, Scale: scale})
+
+				// Table 1 headline counts are scale-invariant.
+				if n := len(w.FleetUnion(MonthApr, ProtoDefault, FamilyV4, 0)); n != 1586 {
+					t.Errorf("April default fleet = %d", n)
+				}
+				if n := len(w.FleetUnion(MonthFeb, ProtoFallback, FamilyV4, 0)); n != 356 {
+					t.Errorf("February fallback fleet = %d", n)
+				}
+
+				// Every fleet member is routed and attributed to its operator.
+				for addr, as := range w.FleetUnion(MonthApr, ProtoDefault, FamilyV4, 0) {
+					origin, ok := w.Table.Origin(addr)
+					if !ok || origin != as {
+						t.Fatalf("fleet member %v attribution: %v/%v", addr, origin, ok)
+					}
+				}
+
+				// Serving groups are total over client space and honor the
+				// group contract.
+				for _, c := range w.ClientASes {
+					s := iputil.NthSubnet(c.Prefixes[0], 24, 0)
+					as, ok := w.ServingAS(s, MonthApr, ProtoDefault)
+					if !ok {
+						t.Fatalf("unserved subnet %v", s)
+					}
+					if c.Group == GroupAkamaiOnly && as != ASAkamaiPR {
+						t.Fatalf("akamai-only subnet served by %v", as)
+					}
+					if c.Group == GroupAppleOnly && as != ASApple {
+						t.Fatalf("apple-only subnet served by %v", as)
+					}
+				}
+
+				// The §6 prefix audit shape is scale-invariant.
+				used := len(w.EgressPrefixes(ASAkamaiPR, FamilyV4)) + len(w.IngressPrefixes(ASAkamaiPR, FamilyV4)) +
+					len(w.EgressPrefixes(ASAkamaiPR, FamilyV6)) + len(w.IngressPrefixes(ASAkamaiPR, FamilyV6))
+				total := used + len(w.UnusedPrefixes(ASAkamaiPR, FamilyV4)) + len(w.UnusedPrefixes(ASAkamaiPR, FamilyV6))
+				if share := float64(used) / float64(total) * 100; share < 91 || share > 94 {
+					t.Errorf("prefix used share = %.1f%%", share)
+				}
+
+				// Service blocks never collide with client allocations.
+				for _, c := range w.ClientASes {
+					for _, p := range c.Prefixes {
+						if as, _ := w.Table.Origin(p.Addr()); IsServiceAS(as) {
+							t.Fatalf("client prefix %v landed in service AS %v", p, as)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+// RouterID identifies a router in the simulated topology.
+type RouterID string
+
+// Router pool sizes per operator. AkamaiPR's ingress and egress prefixes
+// draw last-hop routers from ONE shared pool — reproducing the paper's
+// traceroute finding that ingress and egress relays in AS36183 can sit
+// behind the same last-hop router (§6).
+const (
+	akamaiPRRouters   = 40
+	appleRouters      = 20
+	cloudflareRouters = 30
+	fastlyRouters     = 16
+	akamaiEdgeRouters = 12
+	clientRouters     = 4
+)
+
+// LastHop returns the last-hop router in front of addr: the router
+// attached to addr's covering BGP prefix. The boolean is false for
+// unrouted addresses.
+func (w *World) LastHop(addr netip.Addr) (RouterID, bool) {
+	route, as, ok := w.Table.Route(addr)
+	if !ok {
+		return "", false
+	}
+	return w.routerFor(route, as), true
+}
+
+// routerFor deterministically maps a prefix to one of its AS's routers.
+func (w *World) routerFor(route netip.Prefix, as bgp.ASN) RouterID {
+	var pool int
+	switch as {
+	case ASAkamaiPR:
+		pool = akamaiPRRouters
+	case ASApple:
+		pool = appleRouters
+	case ASCloudflare:
+		pool = cloudflareRouters
+	case ASFastly:
+		pool = fastlyRouters
+	case ASAkamaiEdge:
+		pool = akamaiEdgeRouters
+	default:
+		pool = clientRouters
+	}
+	k := iputil.Mix(iputil.HashPrefix(route), w.seed^uint64(as)) % uint64(pool)
+	return RouterID(fmt.Sprintf("%s-r%02d", ASName(as), k))
+}
+
+// Hop is one traceroute hop.
+type Hop struct {
+	Router RouterID
+	AS     bgp.ASN // 0 for anonymous transit hops
+}
+
+// Traceroute returns the simulated router-level path from src to dst:
+// the source's gateway, two or three synthetic transit hops, the
+// destination's last-hop router and the destination itself (rendered as a
+// pseudo-router). Paths are deterministic per (src route, dst route), so
+// two destinations behind the same last hop visibly share it.
+func (w *World) Traceroute(src, dst netip.Addr) []Hop {
+	var hops []Hop
+	if route, as, ok := w.Table.Route(src); ok {
+		hops = append(hops, Hop{Router: w.routerFor(route, as), AS: as})
+	}
+	srcKey := uint64(0)
+	if r, _, ok := w.Table.Route(src); ok {
+		srcKey = iputil.HashPrefix(r)
+	}
+	dstKey := uint64(0)
+	dstRoute, dstAS, dstRouted := w.Table.Route(dst)
+	if dstRouted {
+		dstKey = iputil.HashPrefix(dstRoute)
+	}
+	pathKey := iputil.Mix(srcKey, dstKey)
+	nTransit := 2 + int(pathKey%2)
+	for i := 0; i < nTransit; i++ {
+		hops = append(hops, Hop{
+			Router: RouterID(fmt.Sprintf("transit-r%03d", iputil.Mix(pathKey, uint64(i))%512)),
+		})
+	}
+	if dstRouted {
+		hops = append(hops, Hop{Router: w.routerFor(dstRoute, dstAS), AS: dstAS})
+	}
+	hops = append(hops, Hop{Router: RouterID("host-" + dst.String()), AS: dstAS})
+	return hops
+}
+
+// LastHopBeforeDest returns the penultimate hop of Traceroute(src, dst):
+// the measured "last hop address" the paper compares between ingress and
+// egress targets.
+func (w *World) LastHopBeforeDest(src, dst netip.Addr) (RouterID, bool) {
+	hops := w.Traceroute(src, dst)
+	if len(hops) < 2 {
+		return "", false
+	}
+	return hops[len(hops)-2].Router, true
+}

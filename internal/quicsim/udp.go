@@ -1,0 +1,75 @@
+package quicsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// UDP transport for the ingress endpoint: the §3 probes can run over a
+// real socket, exactly like ZMap and QScanner would on the Internet.
+
+// UDPEndpoint serves an IngressEndpoint on a UDP socket.
+type UDPEndpoint struct {
+	ep   *IngressEndpoint
+	conn net.PacketConn
+	wg   sync.WaitGroup
+}
+
+// ListenUDP starts serving ingress behaviour on addr.
+func ListenUDP(addr string) (*UDPEndpoint, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("quicsim: listen: %w", err)
+	}
+	u := &UDPEndpoint{ep: &IngressEndpoint{}, conn: conn}
+	u.wg.Add(1)
+	go u.serve()
+	return u, nil
+}
+
+// Addr returns the bound address.
+func (u *UDPEndpoint) Addr() net.Addr { return u.conn.LocalAddr() }
+
+// Close stops the endpoint.
+func (u *UDPEndpoint) Close() error {
+	err := u.conn.Close()
+	u.wg.Wait()
+	return err
+}
+
+func (u *UDPEndpoint) serve() {
+	defer u.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, raddr, err := u.conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		if resp := u.ep.HandleDatagram(buf[:n]); resp != nil {
+			_, _ = u.conn.WriteTo(resp, raddr)
+		}
+	}
+}
+
+// ProbeUDP sends one probe datagram to a UDP ingress endpoint and waits
+// up to timeout for a response; nil response means silence (the QScanner
+// outcome for standard handshakes).
+func ProbeUDP(addr string, probe []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write(probe); err != nil {
+		return nil, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 2048)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, nil // timeout → silence, not an error
+	}
+	return append([]byte(nil), buf[:n]...), nil
+}

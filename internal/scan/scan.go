@@ -1,0 +1,327 @@
+// Package scan implements the paper's measurements *through* the relay
+// (§3, §4.3): a dual-request harness — a Safari-like fetch against an own
+// logging web server plus a curl-like fetch of an IP-echo service — run
+// on a 5-minute cadence over a scan day (Figure 3) and on a 30-second
+// cadence over 48 hours for the egress address-rotation analysis.
+//
+// Target servers are preamble-aware (see masque.ReadSourcePreamble): the
+// simulated egress source address plays the role of the IP header's
+// source field.
+package scan
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/masque"
+	"github.com/relay-networks/privaterelay/internal/relay"
+)
+
+// WebServer is the scan's own logging web server: it records every
+// requester address and answers a minimal HTTP-ish response.
+type WebServer struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu  sync.Mutex
+	log []netip.Addr
+}
+
+// StartWebServer launches the server on loopback.
+func StartWebServer() (*WebServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ws := &WebServer{ln: ln}
+	ws.wg.Add(1)
+	go ws.serve()
+	return ws, nil
+}
+
+// Addr returns the listen address.
+func (ws *WebServer) Addr() string { return ws.ln.Addr().String() }
+
+// Close stops the server.
+func (ws *WebServer) Close() { ws.ln.Close(); ws.wg.Wait() }
+
+// Log returns the requester addresses observed so far.
+func (ws *WebServer) Log() []netip.Addr {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return append([]netip.Addr(nil), ws.log...)
+}
+
+func (ws *WebServer) serve() {
+	defer ws.wg.Done()
+	for {
+		c, err := ws.ln.Accept()
+		if err != nil {
+			return
+		}
+		ws.wg.Add(1)
+		go func(c net.Conn) {
+			defer ws.wg.Done()
+			defer c.Close()
+			br := bufio.NewReader(c)
+			src, err := masque.ReadSourcePreamble(br)
+			if err != nil {
+				return
+			}
+			ws.mu.Lock()
+			ws.log = append(ws.log, src)
+			ws.mu.Unlock()
+			// Consume the request line, then answer.
+			if _, err := br.ReadString('\n'); err != nil {
+				return
+			}
+			fmt.Fprintf(c, "HTTP/1.1 200 OK\r\n\r\nok\r\n")
+		}(c)
+	}
+}
+
+// EchoServer mirrors the requester's address in the response body, like
+// ipecho.net/plain.
+type EchoServer struct {
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// StartEchoServer launches the echo service on loopback.
+func StartEchoServer() (*EchoServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	es := &EchoServer{ln: ln}
+	es.wg.Add(1)
+	go es.serve()
+	return es, nil
+}
+
+// Addr returns the listen address.
+func (es *EchoServer) Addr() string { return es.ln.Addr().String() }
+
+// Close stops the server.
+func (es *EchoServer) Close() { es.ln.Close(); es.wg.Wait() }
+
+func (es *EchoServer) serve() {
+	defer es.wg.Done()
+	for {
+		c, err := es.ln.Accept()
+		if err != nil {
+			return
+		}
+		es.wg.Add(1)
+		go func(c net.Conn) {
+			defer es.wg.Done()
+			defer c.Close()
+			br := bufio.NewReader(c)
+			src, err := masque.ReadSourcePreamble(br)
+			if err != nil {
+				return
+			}
+			if _, err := br.ReadString('\n'); err != nil {
+				return
+			}
+			fmt.Fprintf(c, "%s\n", src)
+		}(c)
+	}
+}
+
+// Observation is one scan round's outcome.
+type Observation struct {
+	Round int
+	// At is the virtual timestamp of the round (Round × Interval).
+	At time.Duration
+	// Operator is the egress operator AS of the round's tunnel.
+	Operator bgp.ASN
+	// SafariEgress is the requester address the web server logged.
+	SafariEgress netip.Addr
+	// CurlEgress is the address the echo service returned.
+	CurlEgress netip.Addr
+	// Failed marks rounds where the tunnel could not be established.
+	Failed bool
+}
+
+// Config describes a through-relay scan.
+type Config struct {
+	Device *relay.Device
+	Web    *WebServer
+	Echo   *EchoServer
+	// Rounds is the number of measurement rounds.
+	Rounds int
+	// Interval is the virtual time between rounds (5 min for the
+	// operator scan, 30 s for the rotation scan). Wall-clock execution
+	// runs as fast as the tunnels allow.
+	Interval time.Duration
+}
+
+// Run executes the scan: per round, one fresh tunnel carrying the two
+// parallel requests.
+func Run(ctx context.Context, cfg Config) ([]Observation, error) {
+	out := make([]Observation, 0, cfg.Rounds)
+	for round := 0; round < cfg.Rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		obs := Observation{Round: round, At: time.Duration(round) * cfg.Interval}
+		tun, err := cfg.Device.Connect(ctx)
+		if err != nil {
+			obs.Failed = true
+			out = append(out, obs)
+			continue
+		}
+		obs.Operator = tun.Operator
+
+		before := len(cfg.Web.Log())
+		// Safari-like request: fetch from the logging web server.
+		if s, _, err := tun.Open(cfg.Web.Addr()); err == nil {
+			fmt.Fprintf(s, "GET / HTTP/1.1\n")
+			_, _ = io.ReadAll(s)
+			s.Close()
+		}
+		logNow := cfg.Web.Log()
+		if len(logNow) > before {
+			obs.SafariEgress = logNow[len(logNow)-1]
+		}
+
+		// curl-like request: fetch the echo service and parse the body.
+		if s, _, err := tun.Open(cfg.Echo.Addr()); err == nil {
+			fmt.Fprintf(s, "GET /plain HTTP/1.1\n")
+			body, _ := io.ReadAll(s)
+			s.Close()
+			if a, err := netip.ParseAddr(strings.TrimSpace(string(body))); err == nil {
+				obs.CurlEgress = a
+			}
+		}
+		tun.Close()
+		out = append(out, obs)
+	}
+	return out, nil
+}
+
+// DominantOperator returns the operator serving the most rounds and the
+// observations filtered to it. The paper's 48-hour rotation numbers (six
+// addresses, four subnets) describe one operator's location pool; rounds
+// on other operators during switch bursts are reported separately.
+func DominantOperator(obs []Observation) (bgp.ASN, []Observation) {
+	counts := map[bgp.ASN]int{}
+	for _, o := range obs {
+		if !o.Failed {
+			counts[o.Operator]++
+		}
+	}
+	var best bgp.ASN
+	for as, n := range counts {
+		if n > counts[best] {
+			best = as
+		}
+	}
+	var filtered []Observation
+	for _, o := range obs {
+		if !o.Failed && o.Operator == best {
+			filtered = append(filtered, o)
+		}
+	}
+	return best, filtered
+}
+
+// OperatorChange is one Figure 3 event: the egress operator differing
+// from the previous round's.
+type OperatorChange struct {
+	Round int
+	At    time.Duration
+	From  bgp.ASN
+	To    bgp.ASN
+}
+
+// OperatorChanges extracts the change events from a scan.
+func OperatorChanges(obs []Observation) []OperatorChange {
+	var out []OperatorChange
+	var prev bgp.ASN
+	have := false
+	for _, o := range obs {
+		if o.Failed {
+			continue
+		}
+		if have && o.Operator != prev {
+			out = append(out, OperatorChange{Round: o.Round, At: o.At, From: prev, To: o.Operator})
+		}
+		prev = o.Operator
+		have = true
+	}
+	return out
+}
+
+// RotationStats summarizes egress address behaviour (§4.3).
+type RotationStats struct {
+	Rounds int
+	// DistinctAddrs and DistinctSubnets count over all observed egress
+	// addresses (both request types).
+	DistinctAddrs   int
+	DistinctSubnets int
+	// ChangeRate is the share of consecutive curl observations whose
+	// address differs from the previous one.
+	ChangeRate float64
+	// ParallelDiffer counts rounds where the Safari and curl requests of
+	// the same round saw different egress addresses.
+	ParallelDiffer int
+}
+
+// Rotation computes rotation statistics. subnetOf attributes an egress
+// address to its listed egress subnet (e.g. via geo.DB.Network built from
+// the egress list); nil falls back to /24 aggregation.
+func Rotation(obs []Observation, subnetOf func(netip.Addr) (netip.Prefix, bool)) RotationStats {
+	st := RotationStats{Rounds: len(obs)}
+	addrs := map[netip.Addr]bool{}
+	subnets := map[netip.Prefix]bool{}
+	record := func(a netip.Addr) {
+		if !a.IsValid() {
+			return
+		}
+		addrs[a] = true
+		if subnetOf != nil {
+			if p, ok := subnetOf(a); ok {
+				subnets[p] = true
+				return
+			}
+		}
+		subnets[netip.PrefixFrom(a, 24).Masked()] = true
+	}
+	var prevCurl netip.Addr
+	changes, comparisons := 0, 0
+	for _, o := range obs {
+		if o.Failed {
+			continue
+		}
+		record(o.SafariEgress)
+		record(o.CurlEgress)
+		if o.CurlEgress.IsValid() && prevCurl.IsValid() {
+			comparisons++
+			if o.CurlEgress != prevCurl {
+				changes++
+			}
+		}
+		if o.CurlEgress.IsValid() {
+			prevCurl = o.CurlEgress
+		}
+		if o.SafariEgress.IsValid() && o.CurlEgress.IsValid() && o.SafariEgress != o.CurlEgress {
+			st.ParallelDiffer++
+		}
+	}
+	st.DistinctAddrs = len(addrs)
+	st.DistinctSubnets = len(subnets)
+	if comparisons > 0 {
+		st.ChangeRate = float64(changes) / float64(comparisons)
+	}
+	return st
+}

@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration keeps CI fast; run with a larger -benchtime locally for
+# stable numbers.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkScanThroughput -benchtime 1x .

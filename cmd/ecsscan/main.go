@@ -30,6 +30,7 @@ func main() {
 		useUDP  = flag.Bool("udp", false, "exchange DNS over a real loopback UDP socket")
 		noSkip  = flag.Bool("no-scope-skip", false, "disable the ECS scope skip optimization (ablation)")
 		listAll = flag.Bool("list", false, "print every discovered address")
+		conc    = flag.Int("concurrency", 16, "parallel query workers (results are concurrency-independent)")
 		qps     = flag.Float64("qps", 0, "client-side query rate limit (0 = unlimited)")
 		outPath = flag.String("out", "", "save the dataset to this file")
 		diffOld = flag.String("diff", "", "diff the new dataset against a previously saved one")
@@ -64,7 +65,7 @@ func main() {
 		Universe:     w.RoutedV4Prefixes(),
 		Attribution:  w.Table,
 		RespectScope: !*noSkip,
-		Concurrency:  16,
+		Concurrency:  *conc,
 		Retries:      1,
 		QPS:          *qps,
 	})

@@ -85,6 +85,38 @@ func (t *Table) Route(addr netip.Addr) (netip.Prefix, ASN, bool) {
 	return t.trie.Lookup(addr)
 }
 
+// Reader is an immutable snapshot of a Table supporting lock-free
+// concurrent lookups. Scanners that resolve origins on their hot path
+// take one snapshot up front instead of paying the table's read lock on
+// every probe. A nil Reader answers every lookup with "not found".
+type Reader struct {
+	trie *iputil.Trie[ASN]
+}
+
+// Snapshot returns an immutable copy of the table's current routes.
+func (t *Table) Snapshot() *Reader {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return &Reader{trie: t.trie.Clone()}
+}
+
+// Origin returns the origin AS of the most-specific prefix covering addr.
+func (r *Reader) Origin(addr netip.Addr) (ASN, bool) {
+	if r == nil {
+		return 0, false
+	}
+	_, as, ok := r.trie.Lookup(addr)
+	return as, ok
+}
+
+// Route returns the matched prefix and origin for addr.
+func (r *Reader) Route(addr netip.Addr) (netip.Prefix, ASN, bool) {
+	if r == nil {
+		return netip.Prefix{}, 0, false
+	}
+	return r.trie.Lookup(addr)
+}
+
 // IsRouted reports whether addr falls inside any announced prefix. The ECS
 // scanner uses this to skip unrouted space (an ethics measure in §7).
 func (t *Table) IsRouted(addr netip.Addr) bool {

@@ -126,6 +126,38 @@ func TestConcurrentLookups(t *testing.T) {
 	wg.Wait()
 }
 
+// TestReaderSnapshot checks the lock-free read view: lookups agree with
+// the table, later announcements stay invisible to an existing snapshot,
+// and a nil Reader reports "not found" instead of panicking.
+func TestReaderSnapshot(t *testing.T) {
+	tbl := NewTable()
+	tbl.Announce(netip.MustParsePrefix("17.0.0.0/8"), 714)
+	r := tbl.Snapshot()
+
+	if as, ok := r.Origin(netip.MustParseAddr("17.248.1.1")); !ok || as != 714 {
+		t.Fatalf("Reader.Origin = %v,%v want AS714", as, ok)
+	}
+	if p, as, ok := r.Route(netip.MustParseAddr("17.248.1.1")); !ok || as != 714 || p != netip.MustParsePrefix("17.0.0.0/8") {
+		t.Fatalf("Reader.Route = %v,%v,%v", p, as, ok)
+	}
+
+	tbl.Announce(netip.MustParsePrefix("23.32.0.0/11"), 36183)
+	if _, ok := r.Origin(netip.MustParseAddr("23.32.0.1")); ok {
+		t.Fatal("snapshot sees announcement made after Snapshot()")
+	}
+	if as, ok := tbl.Origin(netip.MustParseAddr("23.32.0.1")); !ok || as != 36183 {
+		t.Fatalf("table lost new announcement: %v,%v", as, ok)
+	}
+
+	var nilReader *Reader
+	if _, ok := nilReader.Origin(netip.MustParseAddr("17.0.0.1")); ok {
+		t.Fatal("nil Reader found a route")
+	}
+	if _, _, ok := nilReader.Route(netip.MustParseAddr("17.0.0.1")); ok {
+		t.Fatal("nil Reader found a route")
+	}
+}
+
 func TestMonthOrdering(t *testing.T) {
 	a := Month{2021, 6}
 	b := Month{2021, 7}

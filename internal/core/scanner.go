@@ -17,7 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/relay-networks/privaterelay/internal/bgp"
@@ -104,9 +106,148 @@ func (s *ServingStats) Operators() []bgp.ASN {
 // ErrNoExchanger is returned for scans without a transport.
 var ErrNoExchanger = errors.New("core: scan config has no exchanger")
 
-// Scan runs the enumeration and returns the dataset. The scan is
-// deterministic for in-memory transports: subnets are visited in address
-// order per universe prefix (workers race only on unordered set inserts).
+// workBatchSize is how many /24s travel per channel send. One send per
+// subnet made the channel the second hottest lock in the scan; batching
+// cuts channel operations by the batch factor.
+const workBatchSize = 64
+
+// skipIndex is the scope-suppression trie behind an epoch-published
+// read path. Lookups load the current immutable snapshot from an
+// atomic.Pointer and walk it without any lock; inserts — rare, one per
+// answer scope shorter than /24 — serialize on a small mutex, clone the
+// snapshot, add the new scope and publish the successor. The value
+// stored with each scope is the operator AS of the covering answer, so
+// skipped subnets can be accounted without re-querying.
+type skipIndex struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[iputil.Trie[bgp.ASN]]
+}
+
+// lookup reports the covering scope's operator, lock-free.
+func (s *skipIndex) lookup(addr netip.Addr) (bgp.ASN, bool) {
+	t := s.snap.Load()
+	if t == nil {
+		return 0, false
+	}
+	_, op, ok := t.Lookup(addr)
+	return op, ok
+}
+
+// insert publishes a new snapshot containing p. It reports whether p was
+// newly inserted, giving exactly-once semantics per scope prefix.
+func (s *skipIndex) insert(p netip.Prefix, op bgp.ASN) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	if cur != nil {
+		if _, ok := cur.Get(p); ok {
+			return false
+		}
+	}
+	next := cur.Clone()
+	next.Insert(p, op)
+	s.snap.Store(next)
+	return true
+}
+
+// scanShard is one worker's private accumulator. Workers never share
+// mutable state on the steady-state path; shards are merged into the
+// Dataset once after the WaitGroup drains.
+type scanShard struct {
+	addrs    map[netip.Addr]bgp.ASN
+	serving  map[bgp.ASN]map[bgp.ASN]int64 // client AS → operator → /24s
+	queries  int64
+	skipped  int64
+	timeouts int64
+	errors   int64
+}
+
+func newScanShard() *scanShard {
+	return &scanShard{
+		addrs:   make(map[netip.Addr]bgp.ASN),
+		serving: make(map[bgp.ASN]map[bgp.ASN]int64),
+	}
+}
+
+// account attributes one served /24 to the subnet's own client AS under
+// the given operator.
+func (sh *scanShard) account(attr *bgp.Reader, subnet netip.Prefix, operator bgp.ASN) {
+	clientAS, ok := attr.Origin(subnet.Addr())
+	if !ok {
+		return
+	}
+	ops := sh.serving[clientAS]
+	if ops == nil {
+		ops = make(map[bgp.ASN]int64)
+		sh.serving[clientAS] = ops
+	}
+	ops[operator]++
+}
+
+// skipCovered handles a subnet suppressed by a covering scope: the
+// covering answer serves it too, so it is accounted to its own client AS
+// under the operator recorded with the scope entry — the accounting a
+// direct query would have produced, without sending one.
+func (sh *scanShard) skipCovered(attr *bgp.Reader, subnet netip.Prefix, operator bgp.ASN) {
+	sh.skipped++
+	sh.account(attr, subnet, operator)
+}
+
+// record folds one response into the shard.
+func (sh *scanShard) record(cfg ScanConfig, attr *bgp.Reader, subnet netip.Prefix, resp *dnswire.Message, skip *skipIndex, global *atomic.Pointer[bgp.ASN]) {
+	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answers) == 0 {
+		return
+	}
+	var operator bgp.ASN
+	for _, rec := range resp.Answers {
+		var addr netip.Addr
+		switch rec.Type {
+		case dnswire.TypeA:
+			addr = rec.A
+		case dnswire.TypeAAAA:
+			addr = rec.AAAA
+		default:
+			continue
+		}
+		as, _ := attr.Origin(addr)
+		sh.addrs[addr] = as
+		operator = as // all records of one answer share an AS (§4.1)
+	}
+
+	// Publish scope suppression. Exactly one worker wins the publication
+	// per scope; a loser's subnet would have been skipped had the scan run
+	// sequentially, so it counts as skipped — that keeps SubnetsSkipped
+	// independent of worker interleaving (the server answers every subnet
+	// inside a scope identically, per ECS semantics).
+	fresh := true
+	if cfg.RespectScope && resp.Edns != nil && resp.Edns.ClientSubnet != nil {
+		cs := resp.Edns.ClientSubnet
+		switch {
+		case cs.ScopePrefixLen == 0:
+			// A scope of zero declares the answer valid for the entire
+			// address space — nothing more can be learned from further
+			// ECS queries.
+			op := operator
+			fresh = global.CompareAndSwap(nil, &op)
+		case cs.ScopePrefixLen < 24:
+			fresh = skip.insert(cs.ScopePrefix(), operator)
+		}
+	}
+	if !fresh {
+		sh.skipped++
+	}
+	sh.account(attr, subnet, operator)
+}
+
+// Scan runs the enumeration and returns the dataset.
+//
+// The steady-state path is contention-free: each worker accumulates into
+// a private shard (merged once at the end), consults an epoch-published
+// snapshot of the scope trie without locking, and paces itself on an
+// atomic token bucket. Dataset.Addresses, Dataset.Serving, SubnetsTotal
+// and SubnetsSkipped are deterministic — identical for any Concurrency —
+// on a lossless deterministic transport; only QueriesSent may vary, when
+// racing workers query subnets a covering scope was about to suppress.
 func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 	if cfg.Exchanger == nil {
 		return nil, ErrNoExchanger
@@ -126,80 +267,115 @@ func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 		Addresses: make(map[netip.Addr]bgp.ASN),
 		Serving:   make(map[bgp.ASN]*ServingStats),
 	}
+	var attr *bgp.Reader
+	if cfg.Attribution != nil {
+		attr = cfg.Attribution.Snapshot()
+	}
 
 	var (
-		mu          sync.Mutex // guards ds, skip and globalScope
-		globalScope bool       // a scope-0 answer covers the whole space
-		skip        iputil.Trie[struct{}]
-		limiter     = newQPSLimiter(cfg.QPS)
-		work        = make(chan netip.Prefix, 4*cfg.Concurrency)
-		wg          sync.WaitGroup
-		scanErr     error
-		errOnce     sync.Once
+		skip    skipIndex
+		global  atomic.Pointer[bgp.ASN] // set once by the first scope-0 answer
+		limiter = newTokenBucket(cfg.QPS)
+		work    = make(chan []netip.Prefix, 2*cfg.Concurrency)
+		wg      sync.WaitGroup
+		scanErr error
+		errOnce sync.Once
 	)
 
-	worker := func() {
+	shards := make([]*scanShard, cfg.Concurrency)
+	worker := func(sh *scanShard) {
 		defer wg.Done()
-		for subnet := range work {
-			if err := ctx.Err(); err != nil {
-				errOnce.Do(func() { scanErr = err })
-				continue
-			}
-			mu.Lock()
-			_, _, skipped := skip.Lookup(subnet.Addr())
-			skipped = skipped || globalScope
-			mu.Unlock()
-			if skipped {
-				mu.Lock()
-				ds.Stats.SubnetsSkipped++
-				// The covering answer applies here too: account the
-				// subnet to its client AS under the operator recorded
-				// with the scope entry.
-				mu.Unlock()
-				continue
-			}
-			limiter.wait()
-			resp, err := exchangeWithRetry(ctx, cfg, subnet)
-			mu.Lock()
-			ds.Stats.QueriesSent++ // retries counted inside exchangeWithRetry
-			if err != nil {
-				if errors.Is(err, dnsserver.ErrTimeout) {
-					ds.Stats.Timeouts++
-				} else {
-					ds.Stats.Errors++
+		for batch := range work {
+			for _, subnet := range batch {
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() { scanErr = err })
+					continue
 				}
-				mu.Unlock()
-				continue
+				if cfg.RespectScope {
+					if op := global.Load(); op != nil {
+						sh.skipCovered(attr, subnet, *op)
+						continue
+					}
+					if op, ok := skip.lookup(subnet.Addr()); ok {
+						sh.skipCovered(attr, subnet, op)
+						continue
+					}
+				}
+				limiter.wait()
+				resp, err := exchangeWithRetry(ctx, cfg, subnet)
+				sh.queries++ // retries counted inside exchangeWithRetry
+				if err != nil {
+					if errors.Is(err, dnsserver.ErrTimeout) {
+						sh.timeouts++
+					} else {
+						sh.errors++
+					}
+					continue
+				}
+				sh.record(cfg, attr, subnet, resp, &skip, &global)
 			}
-			ds.recordLocked(cfg, subnet, resp, &skip, &globalScope)
-			mu.Unlock()
 		}
 	}
 
 	wg.Add(cfg.Concurrency)
 	for i := 0; i < cfg.Concurrency; i++ {
-		go worker()
+		shards[i] = newScanShard()
+		go worker(shards[i])
 	}
+
 	total := int64(0)
+	batch := make([]netip.Prefix, 0, workBatchSize)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		select {
+		case work <- batch:
+			batch = make([]netip.Prefix, 0, workBatchSize)
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
 	for _, p := range cfg.Universe {
 		if !p.Addr().Is4() {
 			continue
 		}
 		iputil.Subnets(p, 24, func(s netip.Prefix) bool {
 			total++
-			select {
-			case work <- s:
-				return true
-			case <-ctx.Done():
-				return false
+			batch = append(batch, s)
+			if len(batch) == workBatchSize {
+				return flush()
 			}
+			return true
 		})
 		if ctx.Err() != nil {
 			break
 		}
 	}
+	flush()
 	close(work)
 	wg.Wait()
+
+	for _, sh := range shards {
+		for addr, as := range sh.addrs {
+			ds.Addresses[addr] = as
+		}
+		for clientAS, ops := range sh.serving {
+			st := ds.Serving[clientAS]
+			if st == nil {
+				st = &ServingStats{SubnetsByOperator: make(map[bgp.ASN]int64)}
+				ds.Serving[clientAS] = st
+			}
+			for op, n := range ops {
+				st.SubnetsByOperator[op] += n
+			}
+		}
+		ds.Stats.QueriesSent += sh.queries
+		ds.Stats.SubnetsSkipped += sh.skipped
+		ds.Stats.Timeouts += sh.timeouts
+		ds.Stats.Errors += sh.errors
+	}
 	ds.Stats.SubnetsTotal = total
 	ds.Stats.Elapsed = time.Since(start)
 	if scanErr != nil {
@@ -224,65 +400,6 @@ func exchangeWithRetry(ctx context.Context, cfg ScanConfig, subnet netip.Prefix)
 		}
 	}
 	return nil, lastErr
-}
-
-// recordLocked folds one response into the dataset. Caller holds mu.
-func (ds *Dataset) recordLocked(cfg ScanConfig, subnet netip.Prefix, resp *dnswire.Message, skip *iputil.Trie[struct{}], globalScope *bool) {
-	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answers) == 0 {
-		return
-	}
-	var operator bgp.ASN
-	for _, rec := range resp.Answers {
-		var addr netip.Addr
-		switch rec.Type {
-		case dnswire.TypeA:
-			addr = rec.A
-		case dnswire.TypeAAAA:
-			addr = rec.AAAA
-		default:
-			continue
-		}
-		as := bgp.ASN(0)
-		if cfg.Attribution != nil {
-			as, _ = cfg.Attribution.Origin(addr)
-		}
-		ds.Addresses[addr] = as
-		operator = as // all records of one answer share an AS (§4.1)
-	}
-	// A scope of zero declares the answer valid for the entire address
-	// space — nothing more can be learned from further ECS queries.
-	if cfg.RespectScope && resp.Edns != nil && resp.Edns.ClientSubnet != nil &&
-		resp.Edns.ClientSubnet.ScopePrefixLen == 0 {
-		*globalScope = true
-	}
-
-	// Serving accounting: the answer covers scopeCount /24s of the
-	// client AS (scope < 24 means one answer stands for many subnets).
-	coveredSubnets := int64(1)
-	if cfg.RespectScope && resp.Edns != nil && resp.Edns.ClientSubnet != nil {
-		cs := resp.Edns.ClientSubnet
-		if cs.ScopePrefixLen > 0 && cs.ScopePrefixLen < 24 {
-			scopePfx := cs.ScopePrefix()
-			if skip.Insert(scopePfx, struct{}{}) {
-				// First answer for this scope accounts for every /24 it
-				// covers (including this one).
-				coveredSubnets = int64(iputil.SubnetCount(scopePfx, 24))
-			} else {
-				// A concurrent worker already accounted the whole scope.
-				coveredSubnets = 0
-			}
-		}
-	}
-	if cfg.Attribution != nil {
-		if clientAS, ok := cfg.Attribution.Origin(subnet.Addr()); ok {
-			st := ds.Serving[clientAS]
-			if st == nil {
-				st = &ServingStats{SubnetsByOperator: make(map[bgp.ASN]int64)}
-				ds.Serving[clientAS] = st
-			}
-			st.SubnetsByOperator[operator] += coveredSubnets
-		}
-	}
 }
 
 // AddressesOf returns the discovered addresses originated by as, sorted.
@@ -332,41 +449,42 @@ func GrowthPercent(a, b *Dataset) float64 {
 }
 
 func sortAddrs(addrs []netip.Addr) {
-	for i := 1; i < len(addrs); i++ {
-		for j := i; j > 0 && addrs[j].Less(addrs[j-1]); j-- {
-			addrs[j], addrs[j-1] = addrs[j-1], addrs[j]
-		}
-	}
+	slices.SortFunc(addrs, func(a, b netip.Addr) int { return a.Compare(b) })
 }
 
-// qpsLimiter is a minimal client-side pacer.
-type qpsLimiter struct {
-	interval time.Duration
-	mu       sync.Mutex
-	next     time.Time
+// tokenBucket is a lock-free client-side pacer: the bucket state is one
+// atomic timestamp (the next free send slot in nanoseconds) advanced by
+// compare-and-swap, so pacing never serializes workers on a mutex and
+// the sleep happens outside any shared critical section.
+type tokenBucket struct {
+	interval int64 // nanoseconds per query; 0 disables pacing
+	next     atomic.Int64
 }
 
-func newQPSLimiter(qps float64) *qpsLimiter {
+func newTokenBucket(qps float64) *tokenBucket {
 	if qps <= 0 {
-		return &qpsLimiter{}
+		return &tokenBucket{}
 	}
-	return &qpsLimiter{interval: time.Duration(float64(time.Second) / qps)}
+	return &tokenBucket{interval: int64(float64(time.Second) / qps)}
 }
 
-func (l *qpsLimiter) wait() {
-	if l.interval == 0 {
+func (b *tokenBucket) wait() {
+	if b.interval == 0 {
 		return
 	}
-	l.mu.Lock()
-	now := time.Now()
-	if l.next.Before(now) {
-		l.next = now
-	}
-	sleep := l.next.Sub(now)
-	l.next = l.next.Add(l.interval)
-	l.mu.Unlock()
-	if sleep > 0 {
-		time.Sleep(sleep)
+	for {
+		now := time.Now().UnixNano()
+		next := b.next.Load()
+		target := next
+		if now > target {
+			target = now
+		}
+		if b.next.CompareAndSwap(next, target+b.interval) {
+			if wait := target - now; wait > 0 {
+				time.Sleep(time.Duration(wait))
+			}
+			return
+		}
 	}
 }
 

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"maps"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/dnsserver"
+	"github.com/relay-networks/privaterelay/internal/netsim"
+)
+
+// TestScanEquivalentAcrossConcurrency pins the determinism contract of
+// the sharded pipeline: on a fixed lossless world, Addresses, Serving,
+// SubnetsTotal and SubnetsSkipped must be identical whether the scan runs
+// sequentially or on 64 workers. Only QueriesSent may differ (a racing
+// worker can query a subnet its covering scope was about to suppress).
+func TestScanEquivalentAcrossConcurrency(t *testing.T) {
+	w := testWorld(t)
+	ctx := context.Background()
+
+	run := func(conc int) *Dataset {
+		cfg := scanConfig(w, netsim.MonthApr, dnsserver.MaskDomain)
+		cfg.Concurrency = conc
+		ds, err := Scan(ctx, cfg)
+		if err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		return ds
+	}
+
+	base := run(1)
+	if base.Stats.SubnetsSkipped == 0 {
+		t.Fatal("baseline skipped nothing; the equivalence test would be vacuous")
+	}
+	for _, conc := range []int{8, 64} {
+		ds := run(conc)
+		if !maps.Equal(base.Addresses, ds.Addresses) {
+			t.Errorf("conc=%d: address set differs from sequential baseline (%d vs %d)",
+				conc, len(ds.Addresses), len(base.Addresses))
+		}
+		if ds.Stats.SubnetsTotal != base.Stats.SubnetsTotal {
+			t.Errorf("conc=%d: SubnetsTotal = %d, want %d", conc, ds.Stats.SubnetsTotal, base.Stats.SubnetsTotal)
+		}
+		if ds.Stats.SubnetsSkipped != base.Stats.SubnetsSkipped {
+			t.Errorf("conc=%d: SubnetsSkipped = %d, want %d", conc, ds.Stats.SubnetsSkipped, base.Stats.SubnetsSkipped)
+		}
+		if len(ds.Serving) != len(base.Serving) {
+			t.Errorf("conc=%d: %d serving ASes, want %d", conc, len(ds.Serving), len(base.Serving))
+			continue
+		}
+		for as, want := range base.Serving {
+			got := ds.Serving[as]
+			if got == nil || !maps.Equal(want.SubnetsByOperator, got.SubnetsByOperator) {
+				t.Errorf("conc=%d: serving stats for AS%d differ: %v vs %v",
+					conc, as, got, want)
+			}
+		}
+	}
+}
+
+// TestScanServingCoversUniverse is the regression test for the skipped-
+// subnet accounting: when every client /24 is answered, each one must be
+// accounted to its client AS exactly once — whether it was queried
+// directly or suppressed by a covering scope. The scope-respecting scan
+// must also produce the very same per-AS breakdown as the naive
+// full-iteration ablation.
+func TestScanServingCoversUniverse(t *testing.T) {
+	w := testWorld(t)
+	ctx := context.Background()
+	want := int64(w.ClientSlash24Count())
+
+	perAS := make(map[bool]map[bgp.ASN]int64)
+	for _, respect := range []bool{true, false} {
+		cfg := scanConfig(w, netsim.MonthApr, dnsserver.MaskDomain)
+		cfg.RespectScope = respect
+		ds, err := Scan(ctx, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		byAS := make(map[bgp.ASN]int64)
+		for as, st := range ds.Serving {
+			total += st.TotalSubnets()
+			byAS[as] = st.TotalSubnets()
+		}
+		if total != want {
+			t.Errorf("respectScope=%v: serving accounts %d /24s, universe has %d client /24s",
+				respect, total, want)
+		}
+		perAS[respect] = byAS
+	}
+	if !maps.Equal(perAS[true], perAS[false]) {
+		t.Error("scope skip changed the per-AS serving breakdown vs the naive scan")
+	}
+}
+
+// TestTokenBucketPacing checks the lock-free pacer: n permits at rate qps
+// cannot complete faster than (n-1)/qps even when drawn concurrently, and
+// a zero-rate bucket never blocks.
+func TestTokenBucketPacing(t *testing.T) {
+	const qps, permits = 2000.0, 40
+	tb := newTokenBucket(qps)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < permits/4; j++ {
+				tb.wait()
+			}
+		}()
+	}
+	wg.Wait()
+	minElapsed := time.Duration(float64(permits-1) / qps * float64(time.Second))
+	if elapsed := time.Since(start); elapsed < minElapsed {
+		t.Fatalf("%d permits at %.0f qps finished in %v, want >= %v", permits, qps, elapsed, minElapsed)
+	}
+
+	unlimited := newTokenBucket(0)
+	done := time.Now()
+	for i := 0; i < 1000; i++ {
+		unlimited.wait()
+	}
+	if time.Since(done) > 100*time.Millisecond {
+		t.Fatal("unlimited bucket blocked")
+	}
+}

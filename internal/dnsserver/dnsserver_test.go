@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -250,6 +251,33 @@ func TestMemTransportLoss(t *testing.T) {
 	}
 	if losses != 3 {
 		t.Fatalf("losses = %d, want 3", losses)
+	}
+}
+
+// TestMemTransportLossConcurrent drives the transport from many
+// goroutines: the atomic loss counter must drop exactly every n-th query
+// in aggregate, with no serialization and (under -race) no data races.
+func TestMemTransportLossConcurrent(t *testing.T) {
+	w, srv := testSetup(t)
+	const workers, perWorker, lossEvery = 8, 60, 3
+	mt := &MemTransport{Handler: srv, Source: netip.MustParseAddr("198.51.100.1"), LossEvery: lossEvery}
+	var losses atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := ecsQuery(uint16(g*perWorker+i), MaskDomain, clientSubnetOf(w, 0))
+				if _, err := mt.Exchange(context.Background(), q); err != nil {
+					losses.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if want := int64(workers * perWorker / lossEvery); losses.Load() != want {
+		t.Fatalf("losses = %d, want %d", losses.Load(), want)
 	}
 }
 

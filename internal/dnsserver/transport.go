@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/relay-networks/privaterelay/internal/dnswire"
@@ -31,8 +32,9 @@ type MemTransport struct {
 	// LossEvery drops every n-th query when > 0 (deterministic loss).
 	LossEvery int
 
-	mu sync.Mutex
-	n  int
+	// n counts queries atomically so concurrent scan workers never
+	// serialize on the transport itself.
+	n atomic.Int64
 }
 
 // Exchange implements Exchanger.
@@ -41,11 +43,7 @@ func (m *MemTransport) Exchange(ctx context.Context, query *dnswire.Message) (*d
 		return nil, err
 	}
 	if m.LossEvery > 0 {
-		m.mu.Lock()
-		m.n++
-		drop := m.n%m.LossEvery == 0
-		m.mu.Unlock()
-		if drop {
+		if m.n.Add(1)%int64(m.LossEvery) == 0 {
 			return nil, ErrTimeout
 		}
 	}

@@ -37,6 +37,10 @@ import (
 type Env struct {
 	Seed  uint64
 	Scale float64
+	// ScanConcurrency is the worker count for ECS scans run through the
+	// environment (0 falls back to core.Scan's default). Scan results are
+	// concurrency-independent, so raising it only changes wall-clock time.
+	ScanConcurrency int
 
 	World      *netsim.World
 	List       *egress.List
@@ -52,13 +56,14 @@ func NewEnv(seed uint64, scale float64) *Env {
 	w := netsim.NewWorld(netsim.Params{Seed: seed, Scale: scale})
 	list := egress.Generate(w, seed)
 	return &Env{
-		Seed:       seed,
-		Scale:      scale,
-		World:      w,
-		List:       list,
-		Attributed: egress.Attribute(list, w.Table),
-		Dep:        relay.NewDeployment(w, list),
-		scans:      make(map[string]*core.Dataset),
+		Seed:            seed,
+		Scale:           scale,
+		ScanConcurrency: 8,
+		World:           w,
+		List:            list,
+		Attributed:      egress.Attribute(list, w.Table),
+		Dep:             relay.NewDeployment(w, list),
+		scans:           make(map[string]*core.Dataset),
 	}
 }
 
@@ -78,7 +83,7 @@ func (e *Env) ScanMonth(ctx context.Context, month bgp.Month, domain string) (*c
 		Universe:     e.World.RoutedV4Prefixes(),
 		Attribution:  e.World.Table,
 		RespectScope: true,
-		Concurrency:  8,
+		Concurrency:  e.ScanConcurrency,
 		Retries:      1,
 	})
 	if err != nil {

@@ -35,8 +35,9 @@ func (t *Trie[V]) Insert(p netip.Prefix, val V) bool {
 	}
 	root := t.root(p.Addr(), true)
 	n := root
+	bits := newAddrBits(p.Addr())
 	for i := 0; i < p.Bits(); i++ {
-		b := addrBit(p.Addr(), i)
+		b := bits.bit(i)
 		if n.child[b] == nil {
 			n.child[b] = &trieNode[V]{}
 		}
@@ -62,8 +63,9 @@ func (t *Trie[V]) Get(p netip.Prefix) (V, bool) {
 	if n == nil {
 		return zero, false
 	}
+	bits := newAddrBits(p.Addr())
 	for i := 0; i < p.Bits(); i++ {
-		n = n.child[addrBit(p.Addr(), i)]
+		n = n.child[bits.bit(i)]
 		if n == nil {
 			return zero, false
 		}
@@ -89,19 +91,20 @@ func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
 	bestBits := -1
 	var bestVal V
 	depth := 0
+	bits := newAddrBits(addr)
+	maxBits := 128
+	if addr.Is4() {
+		maxBits = 32
+	}
 	for {
 		if n.set {
 			bestBits = depth
 			bestVal = n.val
 		}
-		maxBits := 128
-		if addr.Is4() {
-			maxBits = 32
-		}
 		if depth == maxBits {
 			break
 		}
-		n = n.child[addrBit(addr, depth)]
+		n = n.child[bits.bit(depth)]
 		if n == nil {
 			break
 		}
@@ -111,6 +114,30 @@ func (t *Trie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
 		return netip.Prefix{}, zero, false
 	}
 	return netip.PrefixFrom(addr, bestBits).Masked(), bestVal, true
+}
+
+// Clone returns a deep copy of the trie sharing no nodes with the
+// receiver. The copy can be mutated while readers continue on the
+// original, which makes Clone the building block for copy-on-write
+// snapshot publication (clone, insert, swap an atomic.Pointer). A nil
+// receiver yields an empty trie, so the first publication needs no
+// special case.
+func (t *Trie[V]) Clone() *Trie[V] {
+	if t == nil {
+		return &Trie[V]{}
+	}
+	return &Trie[V]{v4: cloneNode(t.v4), v6: cloneNode(t.v6), size: t.size}
+}
+
+func cloneNode[V any](n *trieNode[V]) *trieNode[V] {
+	if n == nil {
+		return nil
+	}
+	return &trieNode[V]{
+		child: [2]*trieNode[V]{cloneNode(n.child[0]), cloneNode(n.child[1])},
+		val:   n.val,
+		set:   n.set,
+	}
 }
 
 // Delete removes prefix p from the trie, reporting whether it was present.
@@ -124,8 +151,9 @@ func (t *Trie[V]) Delete(p netip.Prefix) bool {
 	if n == nil {
 		return false
 	}
+	bits := newAddrBits(p.Addr())
 	for i := 0; i < p.Bits(); i++ {
-		n = n.child[addrBit(p.Addr(), i)]
+		n = n.child[bits.bit(i)]
 		if n == nil {
 			return false
 		}
@@ -208,14 +236,25 @@ func (t *Trie[V]) root(addr netip.Addr, create bool) *trieNode[V] {
 	return t.v6
 }
 
-// addrBit returns bit i (0 = most significant) of the address.
-func addrBit(addr netip.Addr, i int) int {
+// addrBits captures an address's raw bytes once so trie walks can test
+// bits without re-extracting the byte array at every level. IPv4 bytes
+// sit at the tail of the 16-byte form, hence the offset.
+type addrBits struct {
+	b   [16]byte
+	off int
+}
+
+func newAddrBits(addr netip.Addr) addrBits {
+	off := 0
 	if addr.Is4() {
-		b := addr.As4()
-		return int(b[i/8]>>(7-i%8)) & 1
+		off = 12
 	}
-	b := addr.As16()
-	return int(b[i/8]>>(7-i%8)) & 1
+	return addrBits{b: addr.As16(), off: off}
+}
+
+// bit returns bit i (0 = most significant) of the address.
+func (a *addrBits) bit(i int) int {
+	return int(a.b[a.off+i/8]>>(7-i%8)) & 1
 }
 
 // setAddrBit returns addr with bit i (0 = most significant) set to one.

@@ -64,12 +64,34 @@ func monthIndex(m bgp.Month) int {
 	return 0
 }
 
+// fleetKey memoizes one IngressFleet result.
+type fleetKey struct {
+	as    bgp.ASN
+	month bgp.Month
+	proto Proto
+	fam   Family
+	phase int
+}
+
 // IngressFleet returns the relay addresses of one operator active in the
 // given month/plane/family. The phase parameter shifts the fleet window by
 // phase addresses, modeling fleet churn between two scans run at slightly
 // different times (the RIPE Atlas validation in §4.1 found exactly one
 // address the concurrent ECS scan did not).
+//
+// The returned slice is memoized and shared between callers — treat it as
+// read-only.
 func (w *World) IngressFleet(as bgp.ASN, month bgp.Month, proto Proto, fam Family, phase int) []netip.Addr {
+	key := fleetKey{as, month, proto, fam, phase}
+	if cached, ok := w.fleetCache.Load(key); ok {
+		return cached.([]netip.Addr)
+	}
+	fleet := w.buildIngressFleet(as, month, proto, fam, phase)
+	cached, _ := w.fleetCache.LoadOrStore(key, fleet)
+	return cached.([]netip.Addr)
+}
+
+func (w *World) buildIngressFleet(as bgp.ASN, month bgp.Month, proto Proto, fam Family, phase int) []netip.Addr {
 	pool := w.pools[poolKey{as, proto, fam}]
 	if len(pool) == 0 {
 		return nil
@@ -239,12 +261,19 @@ func pickAnswers(fleet []netip.Addr, key uint64, month bgp.Month, proto Proto) [
 	}
 	salt := uint64(monthIndex(month))<<8 | uint64(proto)
 	out := make([]netip.Addr, 0, n)
-	seen := make(map[netip.Addr]bool, n)
 	for k := 0; len(out) < n; k++ {
 		idx := iputil.Mix(key, salt+uint64(k)*0x9E37) % uint64(len(fleet))
 		a := fleet[idx]
-		if !seen[a] {
-			seen[a] = true
+		// Linear dedup: n is at most maxAnswerRecords (8), so scanning the
+		// short output slice beats allocating a set per query.
+		dup := false
+		for _, prev := range out {
+			if prev == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, a)
 		}
 		if k > 16*n { // fleet smaller than n after dedup pressure

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"sync"
 
 	"github.com/relay-networks/privaterelay/internal/aspop"
 	"github.com/relay-networks/privaterelay/internal/bgp"
@@ -44,6 +45,11 @@ type World struct {
 
 	clientIdx map[bgp.ASN]int
 	seed      uint64
+
+	// fleetCache memoizes IngressFleet results. Fleets are deterministic
+	// per key and requested once per DNS query on the scan hot path, so
+	// rebuilding the slice each time dominated server-side allocation.
+	fleetCache sync.Map
 }
 
 type serviceKey struct {

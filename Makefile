@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench bench-json
 
 check: vet build race bench
 
@@ -20,3 +20,9 @@ race:
 # stable numbers.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkScanThroughput -benchtime 1x .
+
+# Machine-readable numbers for the sharded pipelines (attribution,
+# campaigns, Table 3, CSV parse): ns/op and items/sec per benchmark.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkAttribute$$|BenchmarkAtlasCampaign$$|BenchmarkTable3$$|BenchmarkParseCSV$$' -benchtime 10x . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+	@cat BENCH_pipeline.json

@@ -19,10 +19,12 @@ func main() {
 		scale    = flag.Float64("scale", 0.002, "client-universe scale")
 		probes   = flag.Int("probes", 11700, "number of Atlas probes")
 		clusters = flag.Int("clusters", 1500, "distinct probe /24s")
+		workers  = flag.Int("workers", 8, "campaign/pipeline worker count (results are identical at any count)")
 	)
 	flag.Parse()
 
 	env := experiments.NewEnv(*seed, *scale)
+	env.PipelineWorkers = *workers
 	res, err := env.Atlas(context.Background(), *probes, *clusters)
 	if err != nil {
 		log.Fatalf("atlas: %v", err)

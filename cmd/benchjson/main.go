@@ -1,0 +1,86 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON object keyed by benchmark name, for machine-readable tracking of
+// the pipeline benchmarks (see `make bench-json`). Each entry carries
+// ns/op plus the benchmark's items/sec custom metric when it reports one
+// (entries/sec, probes/sec, lines/sec, subnets/sec).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	ItemsPerSec float64 `json:"items_per_sec,omitempty"`
+	ItemsUnit   string  `json:"items_unit,omitempty"`
+}
+
+func main() {
+	out := map[string]Result{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark lines read: name, iterations, value, unit, value, unit, ...
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		res := Result{}
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			unit := fields[i+1]
+			switch {
+			case unit == "ns/op":
+				res.NsPerOp = val
+				seen = true
+			case strings.HasSuffix(unit, "/sec") && !strings.HasPrefix(unit, "MB"):
+				res.ItemsPerSec = val
+				res.ItemsUnit = strings.TrimSuffix(unit, "/sec")
+			}
+		}
+		if !seen {
+			continue
+		}
+		if _, dup := out[name]; !dup {
+			order = append(order, name)
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// Emit in input order with stable formatting.
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	for i, name := range order {
+		blob, err := json.Marshal(out[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&sb, "  %q: %s", name, blob)
+		if i < len(order)-1 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	os.Stdout.WriteString(sb.String())
+}

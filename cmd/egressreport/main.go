@@ -21,6 +21,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "world seed")
 		csvPath = flag.String("csv", "", "egress-ip-ranges.csv to analyze (default: generate synthetic list)")
 		dumpCSV = flag.String("write-csv", "", "write the (generated or parsed) list to this path")
+		workers = flag.Int("workers", 8, "attribution/table worker count (results are identical at any count)")
 	)
 	flag.Parse()
 
@@ -55,15 +56,15 @@ func main() {
 		fmt.Printf("wrote list to %s\n\n", *dumpCSV)
 	}
 
-	attributed := egress.Attribute(list, w.Table)
+	attributed := egress.AttributeN(list, w.Table, *workers)
 
 	fmt.Println("== Table 3: egress subnets per operating AS ==")
-	fmt.Print(analysis.RenderTable3(analysis.Table3(attributed)))
+	fmt.Print(analysis.RenderTable3(analysis.Table3N(attributed, *workers)))
 
 	fmt.Println("\n== Table 4: covered cities ==")
-	fmt.Print(analysis.RenderTable4(analysis.Table4(attributed)))
+	fmt.Print(analysis.RenderTable4(analysis.Table4N(attributed, *workers)))
 
-	shares, small := analysis.CountryShares(attributed, 50)
+	shares, small := analysis.CountrySharesN(attributed, 50, *workers)
 	fmt.Println("\n== Country bias (§4.2) ==")
 	for _, s := range shares[:5] {
 		fmt.Printf("  %s  %6d subnets  %5.1f%%\n", s.CC, s.Subnets, s.Share)

@@ -3,6 +3,7 @@ package analysis
 import (
 	"context"
 	"net/netip"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"github.com/relay-networks/privaterelay/internal/core"
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
 	"github.com/relay-networks/privaterelay/internal/egress"
+	"github.com/relay-networks/privaterelay/internal/iputil"
 	"github.com/relay-networks/privaterelay/internal/netsim"
 	"github.com/relay-networks/privaterelay/internal/scan"
 )
@@ -261,5 +263,161 @@ func TestFigure3Rendering(t *testing.T) {
 	text := RenderFigure3([]Figure3Series{s})
 	if !strings.Contains(text, "Open Scan") || !strings.Contains(text, "Cloudflare → AkamaiPR") {
 		t.Fatalf("render:\n%s", text)
+	}
+}
+
+// equivFixture is a hand-crafted attributed list for the table
+// equivalence tests: shuffled ASes (including unattributed AS-0 rows),
+// both families, repeated and unique BGP prefixes, several countries,
+// and city-less entries — every branch of the sharded builders.
+func equivFixture() []egress.Attributed {
+	ccs := []string{"US", "DE", "JP", "BR", "FR", "GB"}
+	ases := []bgp.ASN{0, 36183, 20940, 13335, 54113}
+	out := make([]egress.Attributed, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		a := egress.Attributed{AS: ases[i%len(ases)]}
+		a.CC = ccs[(i/7)%len(ccs)]
+		if i%13 != 0 {
+			a.Region = a.CC + "-region-00"
+			a.City = a.CC + "-city-" + string(rune('0'+i%5)) // 5 cities per CC
+		}
+		if i%3 == 0 {
+			a.Prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(i >> 8), byte(i), 0, 0}), 24+i%8)
+			a.BGPPrefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(i >> 10), 0, 0, 0}), 12)
+		} else {
+			a.Prefix = netip.PrefixFrom(netip.AddrFrom16([16]byte{0x26, 0, byte(i >> 8), byte(i)}), 64)
+			a.BGPPrefix = netip.PrefixFrom(netip.AddrFrom16([16]byte{0x26, 0, byte(i >> 10)}), 32)
+		}
+		if a.AS == 0 {
+			a.BGPPrefix = netip.Prefix{}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// TestTablesEquivalentAcrossWorkers proves the sharded table builders
+// are bit-identical to a straightforward sequential rebuild at any
+// worker count.
+func TestTablesEquivalentAcrossWorkers(t *testing.T) {
+	attributed := equivFixture()
+
+	// Sequential references, written the way the pre-sharding builders
+	// worked: plain maps, no memoization, no filters.
+	type t3ref struct {
+		row                Table3Row
+		v4BGP, v6BGP, v6CC map[string]bool
+	}
+	ref3 := map[bgp.ASN]*t3ref{}
+	type t4ref struct{ all, v4, v6 map[string]bool }
+	ref4 := map[bgp.ASN]*t4ref{}
+	ccCounts := map[string]int{}
+	for _, a := range attributed {
+		ccCounts[a.CC]++
+		if a.AS == 0 {
+			continue
+		}
+		r3 := ref3[a.AS]
+		if r3 == nil {
+			r3 = &t3ref{row: Table3Row{AS: a.AS}, v4BGP: map[string]bool{}, v6BGP: map[string]bool{}, v6CC: map[string]bool{}}
+			ref3[a.AS] = r3
+		}
+		if a.Prefix.Addr().Is4() {
+			r3.row.V4Subnets++
+			r3.row.V4Addrs += iputil.AddrCount(a.Prefix)
+			r3.v4BGP[a.BGPPrefix.String()] = true
+		} else {
+			r3.row.V6Subnets++
+			r3.v6BGP[a.BGPPrefix.String()] = true
+			r3.v6CC[a.CC] = true
+		}
+		if a.City != "" {
+			r4 := ref4[a.AS]
+			if r4 == nil {
+				r4 = &t4ref{all: map[string]bool{}, v4: map[string]bool{}, v6: map[string]bool{}}
+				ref4[a.AS] = r4
+			}
+			key := a.CC + "/" + a.City
+			r4.all[key] = true
+			if a.Prefix.Addr().Is4() {
+				r4.v4[key] = true
+			} else {
+				r4.v6[key] = true
+			}
+		}
+	}
+
+	for _, workers := range []int{1, 8, 64} {
+		rows3 := Table3N(attributed, workers)
+		if len(rows3) != len(ref3) {
+			t.Fatalf("workers=%d: Table3 has %d rows, want %d", workers, len(rows3), len(ref3))
+		}
+		for _, row := range rows3 {
+			r := ref3[row.AS]
+			want := r.row
+			want.V4BGP, want.V6BGP, want.V6CCs = len(r.v4BGP), len(r.v6BGP), len(r.v6CC)
+			if row != want {
+				t.Fatalf("workers=%d: Table3 %v = %+v, want %+v", workers, row.AS, row, want)
+			}
+		}
+
+		rows4 := Table4N(attributed, workers)
+		if len(rows4) != len(ref4) {
+			t.Fatalf("workers=%d: Table4 has %d rows, want %d", workers, len(rows4), len(ref4))
+		}
+		for _, row := range rows4 {
+			r := ref4[row.AS]
+			want := Table4Row{AS: row.AS, Cities: len(r.all), CitiesV4: len(r.v4), CitiesV6: len(r.v6)}
+			if row != want {
+				t.Fatalf("workers=%d: Table4 %v = %+v, want %+v", workers, row.AS, row, want)
+			}
+		}
+
+		shares, small := CountrySharesN(attributed, 1200, workers)
+		if len(shares) != len(ccCounts) {
+			t.Fatalf("workers=%d: %d countries, want %d", workers, len(shares), len(ccCounts))
+		}
+		wantSmall := 0
+		for i, s := range shares {
+			if s.Subnets != ccCounts[s.CC] {
+				t.Fatalf("workers=%d: %s = %d subnets, want %d", workers, s.CC, s.Subnets, ccCounts[s.CC])
+			}
+			if i > 0 && (shares[i-1].Subnets < s.Subnets || (shares[i-1].Subnets == s.Subnets && shares[i-1].CC > s.CC)) {
+				t.Fatalf("workers=%d: shares out of order at %d", workers, i)
+			}
+		}
+		for _, n := range ccCounts {
+			if n < 1200 {
+				wantSmall++
+			}
+		}
+		if small != wantSmall {
+			t.Fatalf("workers=%d: smallCCs = %d, want %d", workers, small, wantSmall)
+		}
+	}
+}
+
+// TestTablesLargeListEquivalence cross-checks the sharded builders on
+// the realistic generated list: every worker count must reproduce the
+// workers=1 rows exactly.
+func TestTablesLargeListEquivalence(t *testing.T) {
+	_, attributed := fixtures(t)
+	want3 := Table3N(attributed, 1)
+	want4 := Table4N(attributed, 1)
+	wantShares, wantSmall := CountrySharesN(attributed, 50, 1)
+	if len(want3) == 0 || len(want4) == 0 || len(wantShares) == 0 {
+		t.Fatal("baseline tables empty; equivalence test would be vacuous")
+	}
+	for _, workers := range []int{8, 64} {
+		if got := Table3N(attributed, workers); !slices.Equal(got, want3) {
+			t.Fatalf("workers=%d: Table3 diverges", workers)
+		}
+		if got := Table4N(attributed, workers); !slices.Equal(got, want4) {
+			t.Fatalf("workers=%d: Table4 diverges", workers)
+		}
+		gotShares, gotSmall := CountrySharesN(attributed, 50, workers)
+		if gotSmall != wantSmall || !slices.Equal(gotShares, wantShares) {
+			t.Fatalf("workers=%d: country shares diverge", workers)
+		}
 	}
 }

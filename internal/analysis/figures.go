@@ -2,7 +2,7 @@ package analysis
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -122,7 +122,7 @@ func LocationCDF(attributed []egress.Attributed, as bgp.ASN, fam netsim.Family, 
 	for _, n := range counts {
 		vals = append(vals, n)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(vals)))
+	slices.SortFunc(vals, func(a, b int) int { return b - a })
 	out := make([]CDFPoint, len(vals))
 	cum := 0
 	for i, n := range vals {

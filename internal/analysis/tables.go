@@ -9,18 +9,59 @@
 package analysis
 
 import (
+	"cmp"
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"net/netip"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"github.com/relay-networks/privaterelay/internal/aspop"
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/core"
 	"github.com/relay-networks/privaterelay/internal/egress"
-	"github.com/relay-networks/privaterelay/internal/iputil"
 	"github.com/relay-networks/privaterelay/internal/netsim"
 )
+
+// DefaultWorkers is the shard count the table builders use when the
+// caller passes 0.
+const DefaultWorkers = 8
+
+// forShards splits n items into `workers` contiguous index ranges and
+// runs fn(shard, lo, hi) on each concurrently. Shards see disjoint input
+// slices and write disjoint accumulators; the caller merges afterwards,
+// so results cannot depend on scheduling.
+func forShards(n, workers int, fn func(shard, lo, hi int)) int {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	shards := 0
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		shards++
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			fn(shard, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return shards
+}
 
 // Table1Row is one month of Table 1.
 type Table1Row struct {
@@ -133,44 +174,220 @@ type Table3Row struct {
 	V6CCs     int
 }
 
+// pfxKey is a prefix flattened to a pointer-free comparable value: the
+// address as a 128-bit integer plus the prefix length. meta is bits+1 so
+// the zero pfxKey (the empty filter slot) differs from 0.0.0.0/0, and
+// pfxKeyInvalid marks the one obtainable invalid prefix (the zero
+// netip.Prefix). Keys are compared by full content, so the direct-mapped
+// filters below never produce false positives, and the exact dedup maps
+// hash three machine words instead of a struct the GC must also scan.
+// Families never share a key space (v4 and v6 sets are separate fields).
+type pfxKey struct {
+	hi, lo uint64
+	meta   uint8
+}
+
+const pfxKeyInvalid = 255
+
+func makePfxKey(p netip.Prefix) pfxKey {
+	a := p.Addr()
+	if !a.IsValid() {
+		return pfxKey{meta: pfxKeyInvalid}
+	}
+	if a.Is4() {
+		b := a.As4()
+		return pfxKey{lo: uint64(binary.BigEndian.Uint32(b[:])), meta: uint8(p.Bits() + 1)}
+	}
+	b := a.As16()
+	return pfxKey{hi: binary.BigEndian.Uint64(b[:8]), lo: binary.BigEndian.Uint64(b[8:]), meta: uint8(p.Bits() + 1)}
+}
+
+// idBits is a lazily grown bitset over dense route IDs. The attribution
+// join numbers BGP announcements 0..N-1 (N is a few thousand at full
+// scale), so "have I seen this prefix" is one word test — no hashing, no
+// pointers for the GC to scan.
+type idBits []uint64
+
+// set marks id, growing the word array on the (rare) first visit past
+// the current end. The hot in-range case inlines to a load, or, store.
+func (s *idBits) set(id int32) {
+	w := int(id >> 6)
+	if w < len(*s) {
+		(*s)[w] |= uint64(1) << (id & 63)
+		return
+	}
+	s.setSlow(w, uint64(1)<<(id&63))
+}
+
+func (s *idBits) setSlow(w int, bit uint64) {
+	grown := make(idBits, w+1)
+	copy(grown, *s)
+	grown[w] |= bit
+	*s = grown
+}
+
+// or merges o into s, growing as needed.
+func (s *idBits) or(o idBits) {
+	if len(o) > len(*s) {
+		grown := make(idBits, len(o))
+		copy(grown, *s)
+		*s = grown
+	}
+	for i, w := range o {
+		(*s)[i] |= w
+	}
+}
+
+// count returns the number of set bits.
+func (s idBits) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ccIndex returns the dense index of an uppercase two-letter country
+// code (0..675), or -1 when cc isn't one.
+func ccIndex(cc string) int {
+	if len(cc) != 2 {
+		return -1
+	}
+	c0, c1 := cc[0]-'A', cc[1]-'A'
+	if c0 > 25 || c1 > 25 {
+		return -1
+	}
+	return int(c0)*26 + int(c1)
+}
+
+// ccWords holds one bit per two-letter country code.
+const ccWords = (26*26 + 63) / 64
+
+// t3acc accumulates one operator's Table 3 row inside one shard. Entries
+// stamped with a RouteID dedup their BGP prefix through the bitsets, and
+// well-formed country codes dedup through a fixed 676-bit array; rows
+// built by hand with no RouteID or an exotic CC fall back to the exact
+// maps. Each pair of structures partitions its key space — a prefix or
+// CC lands in exactly one of the two — so sizes sum into the row counts.
+type t3acc struct {
+	row      Table3Row
+	v4IDs    idBits
+	v6IDs    idBits
+	v6CCBits [ccWords]uint64
+	v4BGP    map[pfxKey]bool
+	v6BGP    map[pfxKey]bool
+	v6CCs    map[string]bool
+}
+
+func newT3acc(as bgp.ASN) *t3acc {
+	return &t3acc{row: Table3Row{AS: as},
+		v4BGP: map[pfxKey]bool{}, v6BGP: map[pfxKey]bool{}, v6CCs: map[string]bool{}}
+}
+
 // Table3 aggregates the attributed egress list per operator.
 func Table3(attributed []egress.Attributed) []Table3Row {
-	type acc struct {
-		row   Table3Row
-		v4BGP map[netip.Prefix]bool
-		v6BGP map[netip.Prefix]bool
-		v6CCs map[string]bool
+	return Table3N(attributed, 0)
+}
+
+// Table3N is Table3 sharded across `workers` goroutines (0 =
+// DefaultWorkers). Each shard aggregates its contiguous slice of entries
+// into per-AS accumulators; the merge sums the counters and unions the
+// distinct sets, so the rows are identical to the sequential build at
+// any worker count.
+func Table3N(attributed []egress.Attributed, workers int) []Table3Row {
+	n := len(attributed)
+	sharded := make([]map[bgp.ASN]*t3acc, workers0(workers, n))
+	forShards(n, workers, func(shard, lo, hi int) {
+		byAS := map[bgp.ASN]*t3acc{}
+		var lastAS bgp.ASN
+		var ac *t3acc
+		for i := lo; i < hi; i++ {
+			a := &attributed[i]
+			if a.AS == 0 {
+				continue
+			}
+			if ac == nil || a.AS != lastAS {
+				lastAS = a.AS
+				ac = byAS[a.AS]
+				if ac == nil {
+					ac = newT3acc(a.AS)
+					byAS[a.AS] = ac
+				}
+			}
+			if a.Prefix.Addr().Is4() {
+				ac.row.V4Subnets++
+				ac.row.V4Addrs += uint64(1) << (32 - a.Prefix.Bits())
+				if id := a.RouteID; id > 0 {
+					ac.v4IDs.set(id)
+				} else {
+					ac.v4BGP[makePfxKey(a.BGPPrefix)] = true
+				}
+			} else {
+				ac.row.V6Subnets++
+				if id := a.RouteID; id > 0 {
+					ac.v6IDs.set(id)
+				} else {
+					ac.v6BGP[makePfxKey(a.BGPPrefix)] = true
+				}
+				if cc := ccIndex(a.CC); cc >= 0 {
+					ac.v6CCBits[cc>>6] |= uint64(1) << (cc & 63)
+				} else {
+					ac.v6CCs[a.CC] = true
+				}
+			}
+		}
+		sharded[shard] = byAS
+	})
+	merged := map[bgp.ASN]*t3acc{}
+	for _, byAS := range sharded {
+		for as, ac := range byAS {
+			m := merged[as]
+			if m == nil {
+				merged[as] = ac
+				continue
+			}
+			m.row.V4Subnets += ac.row.V4Subnets
+			m.row.V4Addrs += ac.row.V4Addrs
+			m.row.V6Subnets += ac.row.V6Subnets
+			m.v4IDs.or(ac.v4IDs)
+			m.v6IDs.or(ac.v6IDs)
+			for i, w := range ac.v6CCBits {
+				m.v6CCBits[i] |= w
+			}
+			for p := range ac.v4BGP {
+				m.v4BGP[p] = true
+			}
+			for p := range ac.v6BGP {
+				m.v6BGP[p] = true
+			}
+			for cc := range ac.v6CCs {
+				m.v6CCs[cc] = true
+			}
+		}
 	}
-	byAS := map[bgp.ASN]*acc{}
-	for _, a := range attributed {
-		if a.AS == 0 {
-			continue
-		}
-		ac := byAS[a.AS]
-		if ac == nil {
-			ac = &acc{row: Table3Row{AS: a.AS},
-				v4BGP: map[netip.Prefix]bool{}, v6BGP: map[netip.Prefix]bool{}, v6CCs: map[string]bool{}}
-			byAS[a.AS] = ac
-		}
-		if a.Prefix.Addr().Is4() {
-			ac.row.V4Subnets++
-			ac.row.V4Addrs += iputil.AddrCount(a.Prefix)
-			ac.v4BGP[a.BGPPrefix] = true
-		} else {
-			ac.row.V6Subnets++
-			ac.v6BGP[a.BGPPrefix] = true
-			ac.v6CCs[a.CC] = true
-		}
-	}
-	var out []Table3Row
-	for _, ac := range byAS {
-		ac.row.V4BGP = len(ac.v4BGP)
-		ac.row.V6BGP = len(ac.v6BGP)
-		ac.row.V6CCs = len(ac.v6CCs)
+	out := make([]Table3Row, 0, len(merged))
+	for _, ac := range merged {
+		ac.row.V4BGP = ac.v4IDs.count() + len(ac.v4BGP)
+		ac.row.V6BGP = ac.v6IDs.count() + len(ac.v6BGP)
+		ac.row.V6CCs = idBits(ac.v6CCBits[:]).count() + len(ac.v6CCs)
 		out = append(out, ac.row)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].AS < out[j].AS })
+	slices.SortFunc(out, func(a, b Table3Row) int { return cmp.Compare(a.AS, b.AS) })
 	return out
+}
+
+// workers0 mirrors forShards's clamp so callers can size shard slices.
+func workers0(workers, items int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // Table4Row is one operator row of Table 4 (appendix A).
@@ -179,32 +396,97 @@ type Table4Row struct {
 	Cities, CitiesV4, CitiesV6 int
 }
 
+// t4 city-set masks: bit 0 = seen via IPv4, bit 1 = seen via IPv6.
+const (
+	t4MaskV4 uint8 = 1 << 0
+	t4MaskV6 uint8 = 1 << 1
+)
+
+// t4acc accumulates one operator's covered cities inside one shard as a
+// single key→family-bitmask map (one map instead of the three sets the
+// sequential builder used). keyBuf is reused across entries so the
+// "CC/City" key costs an allocation only when a new city is inserted —
+// the m[string(buf)] lookup itself does not allocate.
+type t4acc struct {
+	masks            map[string]uint8
+	keyBuf           []byte
+	lastCC, lastCity string
+	lastMask         uint8
+}
+
 // Table4 counts covered cities per operator, overall and per family.
 func Table4(attributed []egress.Attributed) []Table4Row {
-	type sets struct{ all, v4, v6 map[string]bool }
-	byAS := map[bgp.ASN]*sets{}
-	for _, a := range attributed {
-		if a.AS == 0 || a.City == "" {
-			continue
+	return Table4N(attributed, 0)
+}
+
+// Table4N is Table4 sharded across `workers` goroutines (0 =
+// DefaultWorkers); shard masks are OR-merged per city, so the rows are
+// identical to the sequential build at any worker count.
+func Table4N(attributed []egress.Attributed, workers int) []Table4Row {
+	n := len(attributed)
+	sharded := make([]map[bgp.ASN]*t4acc, workers0(workers, n))
+	forShards(n, workers, func(shard, lo, hi int) {
+		byAS := map[bgp.ASN]*t4acc{}
+		var lastAS bgp.ASN
+		var ac *t4acc
+		for i := lo; i < hi; i++ {
+			a := &attributed[i]
+			if a.AS == 0 || a.City == "" {
+				continue
+			}
+			if ac == nil || a.AS != lastAS {
+				lastAS = a.AS
+				ac = byAS[a.AS]
+				if ac == nil {
+					ac = &t4acc{masks: map[string]uint8{}}
+					byAS[a.AS] = ac
+				}
+			}
+			mask := t4MaskV6
+			if a.Prefix.Addr().Is4() {
+				mask = t4MaskV4
+			}
+			// Egress lists enumerate each city's subnets in runs, so the
+			// common case is "same city, family already recorded".
+			if a.CC == ac.lastCC && a.City == ac.lastCity && ac.lastMask&mask != 0 {
+				continue
+			}
+			ac.keyBuf = append(append(append(ac.keyBuf[:0], a.CC...), '/'), a.City...)
+			m := ac.masks[string(ac.keyBuf)]
+			if m&mask == 0 {
+				ac.masks[string(ac.keyBuf)] = m | mask
+			}
+			ac.lastCC, ac.lastCity, ac.lastMask = a.CC, a.City, m|mask
 		}
-		s := byAS[a.AS]
-		if s == nil {
-			s = &sets{all: map[string]bool{}, v4: map[string]bool{}, v6: map[string]bool{}}
-			byAS[a.AS] = s
-		}
-		key := a.CC + "/" + a.City
-		s.all[key] = true
-		if a.Prefix.Addr().Is4() {
-			s.v4[key] = true
-		} else {
-			s.v6[key] = true
+		sharded[shard] = byAS
+	})
+	merged := map[bgp.ASN]map[string]uint8{}
+	for _, byAS := range sharded {
+		for as, ac := range byAS {
+			m := merged[as]
+			if m == nil {
+				merged[as] = ac.masks
+				continue
+			}
+			for key, mask := range ac.masks {
+				m[key] |= mask
+			}
 		}
 	}
-	var out []Table4Row
-	for as, s := range byAS {
-		out = append(out, Table4Row{AS: as, Cities: len(s.all), CitiesV4: len(s.v4), CitiesV6: len(s.v6)})
+	out := make([]Table4Row, 0, len(merged))
+	for as, masks := range merged {
+		row := Table4Row{AS: as, Cities: len(masks)}
+		for _, mask := range masks {
+			if mask&t4MaskV4 != 0 {
+				row.CitiesV4++
+			}
+			if mask&t4MaskV6 != 0 {
+				row.CitiesV6++
+			}
+		}
+		out = append(out, row)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].AS < out[j].AS })
+	slices.SortFunc(out, func(a, b Table4Row) int { return cmp.Compare(a.AS, b.AS) })
 	return out
 }
 
@@ -218,23 +500,55 @@ type CountryShare struct {
 // CountryShares returns per-country subnet shares, descending, plus the
 // number of countries holding fewer than `smallThreshold` subnets.
 func CountryShares(attributed []egress.Attributed, smallThreshold int) (shares []CountryShare, smallCCs int) {
+	return CountrySharesN(attributed, smallThreshold, 0)
+}
+
+// CountrySharesN is CountryShares sharded across `workers` goroutines
+// (0 = DefaultWorkers). Shards count per-country subtotals with
+// run-length accumulation (egress lists cluster entries by country, so
+// most increments fold into a local counter instead of a map write); the
+// merge sums them, and the (count desc, CC asc) sort has no ties to
+// break non-deterministically.
+func CountrySharesN(attributed []egress.Attributed, smallThreshold, workers int) (shares []CountryShare, smallCCs int) {
+	n := len(attributed)
+	sharded := make([]map[string]int, workers0(workers, n))
+	forShards(n, workers, func(shard, lo, hi int) {
+		counts := map[string]int{}
+		runCC := ""
+		runN := 0
+		for i := lo; i < hi; i++ {
+			cc := attributed[i].CC
+			if cc == runCC {
+				runN++
+				continue
+			}
+			if runN > 0 {
+				counts[runCC] += runN
+			}
+			runCC, runN = cc, 1
+		}
+		if runN > 0 {
+			counts[runCC] += runN
+		}
+		sharded[shard] = counts
+	})
 	counts := map[string]int{}
-	total := 0
-	for _, a := range attributed {
-		counts[a.CC]++
-		total++
+	for _, sub := range sharded {
+		for cc, c := range sub {
+			counts[cc] += c
+		}
 	}
-	for cc, n := range counts {
-		shares = append(shares, CountryShare{CC: cc, Subnets: n, Share: float64(n) / float64(total) * 100})
-		if n < smallThreshold {
+	for cc, c := range counts {
+		shares = append(shares, CountryShare{CC: cc, Subnets: c, Share: float64(c) / float64(n) * 100})
+		if c < smallThreshold {
 			smallCCs++
 		}
 	}
-	sort.Slice(shares, func(i, j int) bool {
-		if shares[i].Subnets != shares[j].Subnets {
-			return shares[i].Subnets > shares[j].Subnets
+	slices.SortFunc(shares, func(a, b CountryShare) int {
+		if a.Subnets != b.Subnets {
+			return b.Subnets - a.Subnets
 		}
-		return shares[i].CC < shares[j].CC
+		return strings.Compare(a.CC, b.CC)
 	})
 	return shares, smallCCs
 }

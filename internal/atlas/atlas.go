@@ -17,7 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
@@ -50,8 +52,16 @@ type Population struct {
 	Probes []Probe
 	// Resolvers maps resolver name → instance (shared between probes).
 	Resolvers map[string]*resolver.Resolver
-	world     *netsim.World
 	handler   dnsserver.Handler
+}
+
+// FlushCaches drops every resolver's cached responses, returning the
+// population to a cold-cache state. Campaign benchmarks call it between
+// iterations so each run pays the full upstream fan-out.
+func (p *Population) FlushCaches() {
+	for _, r := range p.Resolvers {
+		r.FlushCache()
+	}
 }
 
 // Config tunes population generation.
@@ -121,9 +131,8 @@ func NewPopulation(w *netsim.World, month bgp.Month, cfg Config) *Population {
 	cfg = cfg.withDefaults()
 	pop := &Population{
 		Resolvers: make(map[string]*resolver.Resolver),
-		world:     w,
 	}
-	handler := &phaseHandler{inner: dnsserver.NewAuthServer(w, month, nil), world: w, month: month, phase: cfg.Phase}
+	handler := newPhaseHandler(w, month, cfg.Phase)
 	pop.handler = handler
 
 	mkResolver := func(name string, addr netip.Addr) *resolver.Resolver {
@@ -269,15 +278,46 @@ func ispResolverAddr(as uint64) netip.Addr {
 
 // phaseHandler wraps the authoritative server but answers A queries from
 // a phase-shifted fleet window, so an Atlas campaign run "minutes" after
-// the 40-hour ECS scan can see one address the scan did not (§4.1).
+// the 40-hour ECS scan can see one address the scan did not (§4.1). The
+// per-plane fresh-address lists are fixed for the handler's lifetime, so
+// they are computed once here instead of rebuilding two full fleet maps
+// on every A query.
 type phaseHandler struct {
 	inner *dnsserver.AuthServer
-	world *netsim.World
-	month bgp.Month
 	phase int
+	// freshDefault/freshFallback hold the phase-shifted window's
+	// addresses absent from the unshifted window, sorted.
+	freshDefault  []netip.Addr
+	freshFallback []netip.Addr
 }
 
-// Handle implements dnsserver.Handler.
+func newPhaseHandler(w *netsim.World, month bgp.Month, phase int) *phaseHandler {
+	p := &phaseHandler{inner: dnsserver.NewAuthServer(w, month, nil), phase: phase}
+	if phase != 0 {
+		p.freshDefault = freshAddrs(w, month, netsim.ProtoDefault, phase)
+		p.freshFallback = freshAddrs(w, month, netsim.ProtoFallback, phase)
+	}
+	return p
+}
+
+// freshAddrs diffs the phase-shifted fleet window against the unshifted
+// one: the addresses a delayed campaign could see that the scan did not.
+func freshAddrs(w *netsim.World, month bgp.Month, proto netsim.Proto, phase int) []netip.Addr {
+	current := w.FleetUnion(month, proto, netsim.FamilyV4, 0)
+	shifted := w.FleetUnion(month, proto, netsim.FamilyV4, phase)
+	var fresh []netip.Addr
+	for a := range shifted {
+		if _, ok := current[a]; !ok {
+			fresh = append(fresh, a)
+		}
+	}
+	slices.SortFunc(fresh, func(a, b netip.Addr) int { return a.Compare(b) })
+	return fresh
+}
+
+// Handle implements dnsserver.Handler. It is safe for concurrent use: the
+// fresh lists are read-only and the inner server allocates a response per
+// query.
 func (p *phaseHandler) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
 	resp := p.inner.Handle(q, from)
 	if p.phase == 0 || resp == nil || len(resp.Answers) == 0 {
@@ -286,22 +326,10 @@ func (p *phaseHandler) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Mess
 	if len(q.Questions) != 1 || q.Questions[0].Type != dnswire.TypeA {
 		return resp
 	}
-	proto := netsim.ProtoDefault
+	fresh := p.freshDefault
 	if dnswire.CanonicalName(q.Questions[0].Name) == dnsserver.MaskH2Domain {
-		proto = netsim.ProtoFallback
+		fresh = p.freshFallback
 	}
-	// Re-map each answer onto the phase-shifted fleet: an address that
-	// rotated out is replaced by its phase-shifted successor.
-	current := p.world.FleetUnion(p.month, proto, netsim.FamilyV4, 0)
-	shifted := p.world.FleetUnion(p.month, proto, netsim.FamilyV4, p.phase)
-	_ = current
-	var fresh []netip.Addr
-	for a := range shifted {
-		if _, ok := current[a]; !ok {
-			fresh = append(fresh, a)
-		}
-	}
-	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Less(fresh[j]) })
 	if len(fresh) > 0 {
 		// Swap the first answer for a fresh address on a sliver of
 		// queries, reproducing the single extra address.
@@ -327,18 +355,80 @@ type MeasurementResult struct {
 type Campaign struct {
 	Domain string
 	Type   dnswire.Type
+	// Workers bounds the number of probes measured concurrently
+	// (0 = DefaultWorkers). Results are bit-identical at any worker
+	// count: every upstream answer is a pure function of (query, source)
+	// and each result lands in its probe's slot by index.
+	Workers int
+}
+
+// DefaultWorkers is the pool size campaigns use when Workers is 0.
+const DefaultWorkers = 8
+
+// campaignBatch is how many consecutive probes a worker claims per
+// counter increment, amortizing the shared-counter contention the same
+// way the ECS scanner batches /24s.
+const campaignBatch = 64
+
+// runPool fans the probe set out to a bounded worker pool. measure fills
+// out[i] for probe i; the first error stops the pool and is returned
+// alone, matching the sequential contract.
+func runPool(ctx context.Context, pop *Population, workers int, measure func(p *Probe, res *MeasurementResult) error) ([]MeasurementResult, error) {
+	n := len(pop.Probes)
+	out := make([]MeasurementResult, n)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				lo := int(next.Add(campaignBatch)) - campaignBatch
+				if lo >= n {
+					return
+				}
+				for i := lo; i < min(lo+campaignBatch, n); i++ {
+					if err := measure(&pop.Probes[i], &out[i]); err != nil {
+						errOnce.Do(func() { firstErr = err })
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return nil, firstErr
+	}
+	return out, ctx.Err()
+}
+
+func (c Campaign) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return DefaultWorkers
 }
 
 // Run executes the campaign, returning per-probe results.
 func (c Campaign) Run(ctx context.Context, pop *Population) ([]MeasurementResult, error) {
-	out := make([]MeasurementResult, 0, len(pop.Probes))
-	for i := range pop.Probes {
-		p := &pop.Probes[i]
-		res := MeasurementResult{ProbeID: p.ID}
+	return runPool(ctx, pop, c.workers(), func(p *Probe, res *MeasurementResult) error {
+		res.ProbeID = p.ID
 		if p.TimeoutProne {
 			res.TimedOut = true
-			out = append(out, res)
-			continue
+			return nil
 		}
 		var addrs []netip.Addr
 		var rcode dnswire.RCode
@@ -352,7 +442,7 @@ func (c Campaign) Run(ctx context.Context, pop *Population) ([]MeasurementResult
 		case errors.Is(err, dnsserver.ErrTimeout):
 			res.TimedOut = true
 		case err != nil:
-			return nil, err
+			return err
 		default:
 			res.Addrs = addrs
 			res.RCode = rcode
@@ -362,9 +452,8 @@ func (c Campaign) Run(ctx context.Context, pop *Population) ([]MeasurementResult
 				}
 			}
 		}
-		out = append(out, res)
-	}
-	return out, ctx.Err()
+		return nil
+	})
 }
 
 // DistinctAddrs collects the distinct addresses across results.
@@ -379,7 +468,7 @@ func DistinctAddrs(results []MeasurementResult) []netip.Addr {
 	for a := range set {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	slices.SortFunc(out, func(a, b netip.Addr) int { return a.Compare(b) })
 	return out
 }
 
@@ -387,14 +476,11 @@ func DistinctAddrs(results []MeasurementResult) []netip.Addr {
 // (the paper's second AAAA measurement mode), bypassing resolvers. Each
 // probe's own identity keys the answer.
 func (c Campaign) RunDirect(ctx context.Context, pop *Population) ([]MeasurementResult, error) {
-	out := make([]MeasurementResult, 0, len(pop.Probes))
-	for i := range pop.Probes {
-		p := &pop.Probes[i]
-		res := MeasurementResult{ProbeID: p.ID}
+	return runPool(ctx, pop, c.workers(), func(p *Probe, res *MeasurementResult) error {
+		res.ProbeID = p.ID
 		if p.TimeoutProne {
 			res.TimedOut = true
-			out = append(out, res)
-			continue
+			return nil
 		}
 		src := p.Addr
 		if c.Type == dnswire.TypeAAAA {
@@ -405,11 +491,10 @@ func (c Campaign) RunDirect(ctx context.Context, pop *Population) ([]Measurement
 		resp, err := mt.Exchange(ctx, q)
 		if errors.Is(err, dnsserver.ErrTimeout) {
 			res.TimedOut = true
-			out = append(out, res)
-			continue
+			return nil
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.RCode = resp.Header.RCode
 		for _, rec := range resp.Answers {
@@ -420,9 +505,8 @@ func (c Campaign) RunDirect(ctx context.Context, pop *Population) ([]Measurement
 				res.Addrs = append(res.Addrs, rec.AAAA)
 			}
 		}
-		out = append(out, res)
-	}
-	return out, ctx.Err()
+		return nil
+	})
 }
 
 // probeV6Identity derives the probe's IPv6 source identity.

@@ -3,6 +3,7 @@ package atlas
 import (
 	"context"
 	"net/netip"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -235,6 +236,60 @@ func TestPopulationDeterminism(t *testing.T) {
 	for i := range a.Probes {
 		if a.Probes[i].Addr != b.Probes[i].Addr || a.Probes[i].ResolverName != b.Probes[i].ResolverName {
 			t.Fatalf("probe %d differs", i)
+		}
+	}
+}
+
+// TestCampaignEquivalentAcrossWorkers proves resolver-mediated, direct
+// and blocking campaigns produce bit-identical results at any worker
+// count. Caches are flushed between runs so each run replays the same
+// cold-path resolver work, including the phase-dependent answers.
+func TestCampaignEquivalentAcrossWorkers(t *testing.T) {
+	_, pop := testPopulation(t)
+	ctx := context.Background()
+
+	run := func(workers int) (a, aaaa, direct []MeasurementResult, blocking *BlockingReport) {
+		t.Helper()
+		pop.FlushCaches()
+		var err error
+		if a, err = (Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeA, Workers: workers}).Run(ctx, pop); err != nil {
+			t.Fatalf("workers=%d A: %v", workers, err)
+		}
+		if aaaa, err = (Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeAAAA, Workers: workers}).Run(ctx, pop); err != nil {
+			t.Fatalf("workers=%d AAAA: %v", workers, err)
+		}
+		if direct, err = (Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeAAAA, Workers: workers}).RunDirect(ctx, pop); err != nil {
+			t.Fatalf("workers=%d direct: %v", workers, err)
+		}
+		if blocking, err = BlockingStudyWorkers(ctx, pop, workers); err != nil {
+			t.Fatalf("workers=%d blocking: %v", workers, err)
+		}
+		return a, aaaa, direct, blocking
+	}
+
+	wantA, wantAAAA, wantDirect, wantBlocking := run(1)
+	if DistinctAddrs(wantA) == nil || DistinctAddrs(wantAAAA) == nil {
+		t.Fatal("baseline campaign found no addresses; equivalence test would be vacuous")
+	}
+	for _, workers := range []int{8, 64} {
+		gotA, gotAAAA, gotDirect, gotBlocking := run(workers)
+		for name, pair := range map[string][2][]MeasurementResult{
+			"A":      {wantA, gotA},
+			"AAAA":   {wantAAAA, gotAAAA},
+			"direct": {wantDirect, gotDirect},
+		} {
+			want, got := pair[0], pair[1]
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d %s: %d results, want %d", workers, name, len(got), len(want))
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("workers=%d %s: probe %d = %+v, want %+v", workers, name, i, got[i], want[i])
+				}
+			}
+		}
+		if !reflect.DeepEqual(gotBlocking, wantBlocking) {
+			t.Fatalf("workers=%d blocking report = %+v, want %+v", workers, gotBlocking, wantBlocking)
 		}
 	}
 }

@@ -55,11 +55,18 @@ func (r *BlockingReport) String() string {
 // BlockingStudy measures the relay domain and a control domain across the
 // population and classifies failures per the paper's methodology.
 func BlockingStudy(ctx context.Context, pop *Population) (*BlockingReport, error) {
-	relay, err := Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeA}.Run(ctx, pop)
+	return BlockingStudyWorkers(ctx, pop, 0)
+}
+
+// BlockingStudyWorkers is BlockingStudy with an explicit campaign worker
+// count (0 = DefaultWorkers). The classification is per-probe and the
+// campaigns are deterministic, so the report is identical at any count.
+func BlockingStudyWorkers(ctx context.Context, pop *Population, workers int) (*BlockingReport, error) {
+	relay, err := Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeA, Workers: workers}.Run(ctx, pop)
 	if err != nil {
 		return nil, err
 	}
-	control, err := Campaign{Domain: dnsserver.WhoamiDomain, Type: dnswire.TypeA}.Run(ctx, pop)
+	control, err := Campaign{Domain: dnsserver.WhoamiDomain, Type: dnswire.TypeA, Workers: workers}.Run(ctx, pop)
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,7 @@ package bgp
 import (
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 	"sync"
 
 	"github.com/relay-networks/privaterelay/internal/iputil"
@@ -32,6 +32,7 @@ type Table struct {
 	trie   iputil.Trie[ASN]
 	byAS   map[ASN][]netip.Prefix
 	counts struct{ v4, v6 int }
+	idx    *Index // memoized flattened snapshot; nil until Index() is called
 }
 
 // NewTable returns an empty routing table.
@@ -48,6 +49,7 @@ func (t *Table) Announce(p netip.Prefix, origin ASN) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.idx = nil
 	if prev, ok := t.trie.Get(p); ok {
 		// Replace: remove from the previous AS's list.
 		lst := t.byAS[prev]
@@ -117,6 +119,12 @@ func (r *Reader) Route(addr netip.Addr) (netip.Prefix, ASN, bool) {
 	return r.trie.Lookup(addr)
 }
 
+// CoveringPrefix returns the announced BGP prefix containing p, mirroring
+// Table.CoveringPrefix on the lock-free snapshot.
+func (r *Reader) CoveringPrefix(p netip.Prefix) (netip.Prefix, ASN, bool) {
+	return r.Route(iputil.CanonicalPrefix(p).Addr())
+}
+
 // IsRouted reports whether addr falls inside any announced prefix. The ECS
 // scanner uses this to skip unrouted space (an ethics measure in §7).
 func (t *Table) IsRouted(addr netip.Addr) bool {
@@ -164,11 +172,11 @@ func (t *Table) CoveringPrefix(p netip.Prefix) (netip.Prefix, ASN, bool) {
 }
 
 func sortPrefixes(ps []netip.Prefix) {
-	sort.Slice(ps, func(i, j int) bool {
-		if c := ps[i].Addr().Compare(ps[j].Addr()); c != 0 {
-			return c < 0
+	slices.SortFunc(ps, func(a, b netip.Prefix) int {
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c
 		}
-		return ps[i].Bits() < ps[j].Bits()
+		return a.Bits() - b.Bits()
 	})
 }
 
@@ -219,7 +227,15 @@ func (h *History) Record(m Month, as ASN) {
 		set = make(map[ASN]bool)
 		h.visible[m] = set
 		h.months = append(h.months, m)
-		sort.Slice(h.months, func(i, j int) bool { return h.months[i].Before(h.months[j]) })
+		slices.SortFunc(h.months, func(a, b Month) int {
+			switch {
+			case a.Before(b):
+				return -1
+			case b.Before(a):
+				return 1
+			}
+			return 0
+		})
 	}
 	set[as] = true
 }

@@ -1,0 +1,181 @@
+package bgp
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+// indexFixture builds a table exercising the interval sweep's edge cases:
+// nested prefixes (including equal-start nesting), adjacent prefixes,
+// gaps, a default route, and prefixes ending at the family's last address.
+func indexFixture() *Table {
+	tbl := NewTable()
+	for _, a := range []struct {
+		pfx string
+		as  ASN
+	}{
+		{"0.0.0.0/0", 1},            // v4 default route: every gap resolves to it
+		{"10.0.0.0/8", 10},          // covering
+		{"10.0.0.0/16", 11},         // equal-start nested
+		{"10.0.0.0/24", 12},         // equal-start nested, deeper
+		{"10.5.0.0/16", 13},         // interior nested
+		{"10.255.255.0/24", 14},     // nested at the covering prefix's end
+		{"11.0.0.0/8", 15},          // adjacent to 10/8
+		{"23.32.0.0/11", 36183},     // isolated after a gap
+		{"255.255.255.0/24", 99},    // ends at the v4 all-ones address
+		{"255.255.255.255/32", 100}, // host route at the very top
+		{"2600::/12", 20},           // v6 covering
+		{"2600:9000::/28", 21},      // v6 nested
+		{"2600:9000::/44", 22},      // v6 equal-start nested
+		{"2620:149:a44::/48", 714},  // v6 isolated
+		{"ff00::/8", 30},            // near the v6 top
+	} {
+		tbl.Announce(netip.MustParsePrefix(a.pfx), a.as)
+	}
+	return tbl
+}
+
+func TestIndexMatchesTrie(t *testing.T) {
+	tbl := indexFixture()
+	idx := tbl.Index()
+
+	probe := func(addr netip.Addr) {
+		t.Helper()
+		wantP, wantAS, wantOK := tbl.Route(addr)
+		gotP, gotAS, gotOK := idx.Route(addr)
+		if gotP != wantP || gotAS != wantAS || gotOK != wantOK {
+			t.Fatalf("Route(%v): index = %v,%v,%v; trie = %v,%v,%v",
+				addr, gotP, gotAS, gotOK, wantP, wantAS, wantOK)
+		}
+	}
+
+	// Boundary addresses: first and last address of every announcement,
+	// plus the addresses just outside.
+	tbl.Walk(func(a Announcement) bool {
+		first := a.Prefix.Addr()
+		probe(first)
+		if prev := first.Prev(); prev.IsValid() {
+			probe(prev)
+		}
+		last := lastAddr(a.Prefix)
+		probe(last)
+		if next := last.Next(); next.IsValid() {
+			probe(next)
+		}
+		return true
+	})
+
+	// Deterministic random sweep over both families.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		var b4 [4]byte
+		rng.Read(b4[:])
+		probe(netip.AddrFrom4(b4))
+		var b16 [16]byte
+		rng.Read(b16[:])
+		// Bias half the v6 probes into announced space so hits are tested
+		// as often as the (dominant) misses.
+		if i%2 == 0 {
+			b16[0], b16[1] = 0x26, byte(rng.Intn(2))*0x20
+		}
+		probe(netip.AddrFrom16(b16))
+	}
+}
+
+// lastAddr returns the last address inside p.
+func lastAddr(p netip.Prefix) netip.Addr {
+	if p.Addr().Is4() {
+		b := p.Addr().As4()
+		host := 32 - p.Bits()
+		for i := 3; i >= 0 && host > 0; i-- {
+			n := min(host, 8)
+			b[i] |= byte(1<<n - 1)
+			host -= n
+		}
+		return netip.AddrFrom4(b)
+	}
+	b := p.Addr().As16()
+	host := 128 - p.Bits()
+	for i := 15; i >= 0 && host > 0; i-- {
+		n := min(host, 8)
+		b[i] |= byte(1<<n - 1)
+		host -= n
+	}
+	return netip.AddrFrom16(b)
+}
+
+func TestIndexEmptyAndNil(t *testing.T) {
+	var nilIdx *Index
+	if _, _, ok := nilIdx.Route(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("nil index found a route")
+	}
+	idx := NewTable().Index()
+	if _, _, ok := idx.Route(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("empty index found a route")
+	}
+	if idx.Len() != 0 {
+		t.Fatalf("empty index Len = %d", idx.Len())
+	}
+	var nilReader *Reader
+	if _, _, ok := nilReader.Index().Route(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("nil reader index found a route")
+	}
+}
+
+// TestCursorMatchesIndex drives a Cursor with random-order queries — the
+// worst case for its locality hint — and checks every answer against the
+// stateless lookup.
+func TestCursorMatchesIndex(t *testing.T) {
+	tbl := indexFixture()
+	idx := tbl.Index()
+	cur := idx.Cursor()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		var p netip.Prefix
+		if i%2 == 0 {
+			var b [4]byte
+			rng.Read(b[:])
+			p = netip.PrefixFrom(netip.AddrFrom4(b), rng.Intn(33))
+		} else {
+			var b [16]byte
+			rng.Read(b[:])
+			if i%4 == 1 {
+				b[0], b[1] = 0x26, byte(rng.Intn(2))*0x20
+			}
+			p = netip.PrefixFrom(netip.AddrFrom16(b), rng.Intn(129))
+		}
+		wantP, wantAS, wantOK := idx.CoveringPrefix(p)
+		if gotP, gotAS, gotOK := cur.CoveringPrefix(p); gotP != wantP || gotAS != wantAS || gotOK != wantOK {
+			t.Fatalf("Cursor.CoveringPrefix(%v) = %v,%v,%v; Index = %v,%v,%v", p, gotP, gotAS, gotOK, wantP, wantAS, wantOK)
+		}
+	}
+	// 4-in-6 mapped and invalid prefixes take the canonicalization path.
+	for _, pfx := range []netip.Prefix{
+		netip.MustParsePrefix("::ffff:10.0.0.0/104"), // canonicalizes to an invalid v4 prefix
+		netip.MustParsePrefix("::ffff:10.0.0.0/24"),  // canonicalizes to 10.0.0.0/24
+		netip.MustParsePrefix("::ffff:10.0.0.0/60"),  // bits > 32 after unmap: invalid
+		{},
+	} {
+		wantP, wantAS, wantOK := idx.CoveringPrefix(pfx)
+		if gotP, gotAS, gotOK := cur.CoveringPrefix(pfx); gotP != wantP || gotAS != wantAS || gotOK != wantOK {
+			t.Fatalf("Cursor.CoveringPrefix(%v) = %v,%v,%v; Index = %v,%v,%v", pfx, gotP, gotAS, gotOK, wantP, wantAS, wantOK)
+		}
+	}
+}
+
+func TestReaderCoveringPrefixMatchesTable(t *testing.T) {
+	tbl := indexFixture()
+	r := tbl.Snapshot()
+	idx := r.Index()
+	for _, pfx := range []string{"10.0.5.0/24", "23.32.1.0/24", "9.9.9.0/24", "2600:9000::/64", "4000::/64"} {
+		p := netip.MustParsePrefix(pfx)
+		wantP, wantAS, wantOK := tbl.CoveringPrefix(p)
+		if gotP, gotAS, gotOK := r.CoveringPrefix(p); gotP != wantP || gotAS != wantAS || gotOK != wantOK {
+			t.Fatalf("Reader.CoveringPrefix(%v) = %v,%v,%v; table = %v,%v,%v", p, gotP, gotAS, gotOK, wantP, wantAS, wantOK)
+		}
+		if gotP, gotAS, gotOK := idx.CoveringPrefix(p); gotP != wantP || gotAS != wantAS || gotOK != wantOK {
+			t.Fatalf("Index.CoveringPrefix(%v) = %v,%v,%v; table = %v,%v,%v", p, gotP, gotAS, gotOK, wantP, wantAS, wantOK)
+		}
+	}
+}

@@ -365,3 +365,58 @@ func BenchmarkGenerate(b *testing.B) {
 		Generate(w, 17)
 	}
 }
+
+// TestAttributeEquivalentAcrossWorkers proves the fanned-out join is
+// bit-identical to the sequential per-entry trie walk at any worker count.
+func TestAttributeEquivalentAcrossWorkers(t *testing.T) {
+	w, full := testList(t)
+	// A slice of the real list plus hand-placed unrouted entries, so both
+	// the found and not-found paths are compared.
+	l := &List{Entries: append([]Entry{
+		{Prefix: netip.MustParsePrefix("203.0.113.0/28"), CC: "US"},
+		{Prefix: netip.MustParsePrefix("2001:db8::/64"), CC: "DE"},
+	}, full.Entries[:20000]...)}
+
+	// Reference: the pre-sharding algorithm, entry by entry against the
+	// locked trie.
+	want := make([]Attributed, len(l.Entries))
+	for i, e := range l.Entries {
+		want[i] = Attributed{Entry: e}
+		if route, as, ok := w.Table.CoveringPrefix(e.Prefix); ok {
+			want[i].AS = as
+			want[i].BGPPrefix = route
+		}
+	}
+
+	for _, workers := range []int{1, 8, 64} {
+		got := AttributeN(l, w.Table, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		// RouteID is new metadata the reference join doesn't produce:
+		// check its contract (0 iff unrouted, bijective with BGPPrefix)
+		// and compare everything else verbatim.
+		idOf := map[netip.Prefix]int32{}
+		pfxOf := map[int32]netip.Prefix{}
+		for i := range got {
+			g := got[i]
+			if (g.RouteID == 0) != (g.AS == 0) {
+				t.Fatalf("workers=%d: entry %d RouteID=%d with AS=%v", workers, i, g.RouteID, g.AS)
+			}
+			if g.RouteID != 0 {
+				if prev, seen := idOf[g.BGPPrefix]; seen && prev != g.RouteID {
+					t.Fatalf("workers=%d: prefix %v has RouteIDs %d and %d", workers, g.BGPPrefix, prev, g.RouteID)
+				}
+				if prev, seen := pfxOf[g.RouteID]; seen && prev != g.BGPPrefix {
+					t.Fatalf("workers=%d: RouteID %d names prefixes %v and %v", workers, g.RouteID, prev, g.BGPPrefix)
+				}
+				idOf[g.BGPPrefix] = g.RouteID
+				pfxOf[g.RouteID] = g.BGPPrefix
+			}
+			g.RouteID = 0
+			if g != want[i] {
+				t.Fatalf("workers=%d: entry %d = %+v, want %+v", workers, i, g, want[i])
+			}
+		}
+	}
+}

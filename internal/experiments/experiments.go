@@ -12,7 +12,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -41,6 +41,10 @@ type Env struct {
 	// environment (0 falls back to core.Scan's default). Scan results are
 	// concurrency-independent, so raising it only changes wall-clock time.
 	ScanConcurrency int
+	// PipelineWorkers is the worker count for the attribution, table and
+	// Atlas-campaign pipelines (0 falls back to each pipeline's default).
+	// Like scans, those pipelines are worker-count-independent.
+	PipelineWorkers int
 
 	World      *netsim.World
 	List       *egress.List
@@ -59,9 +63,10 @@ func NewEnv(seed uint64, scale float64) *Env {
 		Seed:            seed,
 		Scale:           scale,
 		ScanConcurrency: 8,
+		PipelineWorkers: 8,
 		World:           w,
 		List:            list,
-		Attributed:      egress.Attribute(list, w.Table),
+		Attributed:      egress.AttributeN(list, w.Table, 8),
 		Dep:             relay.NewDeployment(w, list),
 		scans:           make(map[string]*core.Dataset),
 	}
@@ -124,10 +129,10 @@ func (e *Env) Table2(ctx context.Context) ([]analysis.Table2Row, float64, error)
 }
 
 // Table3 aggregates the attributed egress list (T3).
-func (e *Env) Table3() []analysis.Table3Row { return analysis.Table3(e.Attributed) }
+func (e *Env) Table3() []analysis.Table3Row { return analysis.Table3N(e.Attributed, e.PipelineWorkers) }
 
 // Table4 counts covered cities (T4).
-func (e *Env) Table4() []analysis.Table4Row { return analysis.Table4(e.Attributed) }
+func (e *Env) Table4() []analysis.Table4Row { return analysis.Table4N(e.Attributed, e.PipelineWorkers) }
 
 // Figure2 returns the per-operator IPv4 geolocation panels (F2). Both
 // Akamai ASes merge into one panel, as in the paper.
@@ -308,7 +313,7 @@ func (e *Env) Atlas(ctx context.Context, probes, clusters int) (*AtlasResult, er
 	})
 	out := &AtlasResult{Probes: len(pop.Probes), PublicResolvers: atlas.IdentifyResolvers(pop)}
 
-	aRes, err := atlas.Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeA}.Run(ctx, pop)
+	aRes, err := atlas.Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeA, Workers: e.PipelineWorkers}.Run(ctx, pop)
 	if err != nil {
 		return nil, err
 	}
@@ -323,11 +328,11 @@ func (e *Env) Atlas(ctx context.Context, probes, clusters int) (*AtlasResult, er
 	}
 	out.V4MissingVsECS = len(ecs.Addresses) - (out.V4Found - out.V4ExtraVsECS)
 
-	v6Res, err := atlas.Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeAAAA}.Run(ctx, pop)
+	v6Res, err := atlas.Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeAAAA, Workers: e.PipelineWorkers}.Run(ctx, pop)
 	if err != nil {
 		return nil, err
 	}
-	direct, err := atlas.Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeAAAA}.RunDirect(ctx, pop)
+	direct, err := atlas.Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeAAAA, Workers: e.PipelineWorkers}.RunDirect(ctx, pop)
 	if err != nil {
 		return nil, err
 	}
@@ -335,7 +340,7 @@ func (e *Env) Atlas(ctx context.Context, probes, clusters int) (*AtlasResult, er
 	out.V6Found = len(atlas.DistinctAddrs(append(v6Res, direct...)))
 	out.V6DirectAdded = out.V6Found - viaResolver
 
-	out.Blocking, err = atlas.BlockingStudy(ctx, pop)
+	out.Blocking, err = atlas.BlockingStudyWorkers(ctx, pop, e.PipelineWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -503,7 +508,7 @@ func (e *Env) QoE(samples int) *QoEResult {
 			faster++
 		}
 	}
-	sort.Float64s(ratios)
+	slices.Sort(ratios)
 	res := &QoEResult{Samples: len(ratios)}
 	if len(ratios) > 0 {
 		res.MedianOverhead = ratios[len(ratios)/2]
@@ -580,7 +585,7 @@ func (e *Env) FullReport(ctx context.Context) (string, error) {
 		}
 	}
 
-	shares, small := analysis.CountryShares(e.Attributed, 50)
+	shares, small := analysis.CountrySharesN(e.Attributed, 50, e.PipelineWorkers)
 	fmt.Fprintf(&sb, "\n== §4.2 geographic bias ==\ntop: %s %.1f%%, second: %s %.1f%%; %d countries under 50 subnets\n",
 		shares[0].CC, shares[0].Share, shares[1].CC, shares[1].Share, small)
 

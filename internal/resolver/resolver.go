@@ -67,6 +67,14 @@ type cacheEntry struct {
 	expiry time.Time
 }
 
+// inflight is one in-progress upstream exchange. The leader fills msg/err
+// before closing done; waiters block on done and read the shared result.
+type inflight struct {
+	done chan struct{}
+	msg  *dnswire.Message
+	err  error
+}
+
 // Resolver is a caching forwarder with policy and override hooks.
 // It is safe for concurrent use.
 type Resolver struct {
@@ -83,9 +91,10 @@ type Resolver struct {
 	// Clock is injectable for cache-expiry tests; nil means time.Now.
 	Clock func() time.Time
 
-	mu    sync.Mutex
-	cache map[string]cacheEntry
-	local map[string][]dnswire.Record
+	mu      sync.Mutex
+	cache   map[string]cacheEntry
+	local   map[string][]dnswire.Record
+	flights map[string]*inflight
 
 	// Stats.
 	CacheHits   int64
@@ -186,15 +195,17 @@ func (r *Resolver) Lookup(ctx context.Context, name string, qtype dnswire.Type, 
 	}
 
 	key := cacheKey(name, qtype, clientAddr, r.ForwardECS)
-	if msg, ok := r.cacheGet(key); ok {
-		r.mu.Lock()
-		r.CacheHits++
-		r.mu.Unlock()
+	msg, fl, leader := r.beginFlight(key)
+	if msg != nil {
 		return msg, nil
 	}
-	r.mu.Lock()
-	r.CacheMisses++
-	r.mu.Unlock()
+	if !leader {
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return fl.msg, nil
+	}
 
 	q := dnswire.NewQuery(queryID(key), name, qtype)
 	if r.ForwardECS {
@@ -205,10 +216,60 @@ func (r *Resolver) Lookup(ctx context.Context, name string, qtype dnswire.Type, 
 	}
 	resp, err := r.Upstream.Exchange(ctx, q)
 	if err != nil {
+		r.endFlight(key, fl, nil, err)
 		return nil, err
 	}
 	r.cachePut(key, resp)
+	r.endFlight(key, fl, resp, nil)
 	return resp, nil
+}
+
+// beginFlight answers from cache, joins an in-progress upstream exchange
+// for the same key (per-key singleflight: concurrent probes behind one
+// public resolver must not stampede the upstream), or claims leadership
+// of a new exchange. Exactly one of three outcomes: msg != nil is a cache
+// hit; leader true means the caller must exchange and call endFlight;
+// leader false with msg nil means the caller waits on fl.done. Waiters
+// count as cache hits — they are served from the answer the leader
+// caches — so serial and concurrent runs report identical hit/miss totals.
+func (r *Resolver) beginFlight(key string) (*dnswire.Message, *inflight, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.cache[key]; ok {
+		if !r.now().After(e.expiry) {
+			r.CacheHits++
+			return e.msg, nil, false
+		}
+		delete(r.cache, key)
+	}
+	if fl, ok := r.flights[key]; ok {
+		r.CacheHits++
+		return nil, fl, false
+	}
+	if r.flights == nil {
+		r.flights = make(map[string]*inflight)
+	}
+	fl := &inflight{done: make(chan struct{})}
+	r.flights[key] = fl
+	r.CacheMisses++
+	return nil, fl, true
+}
+
+// endFlight publishes the leader's result and releases waiters.
+func (r *Resolver) endFlight(key string, fl *inflight, msg *dnswire.Message, err error) {
+	fl.msg, fl.err = msg, err
+	r.mu.Lock()
+	delete(r.flights, key)
+	r.mu.Unlock()
+	close(fl.done)
+}
+
+// FlushCache drops every cached response (in-flight exchanges are left
+// alone). Campaign benchmarks use it to re-measure cold-cache runs.
+func (r *Resolver) FlushCache() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	clear(r.cache)
 }
 
 // ResolveA returns just the A addresses for name (empty on NOERROR/no-data).
@@ -246,19 +307,6 @@ func (r *Resolver) now() time.Time {
 		return r.Clock()
 	}
 	return time.Now()
-}
-
-func (r *Resolver) cacheGet(key string) (*dnswire.Message, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.cache[key]
-	if !ok || r.now().After(e.expiry) {
-		if ok {
-			delete(r.cache, key)
-		}
-		return nil, false
-	}
-	return e.msg, true
 }
 
 func (r *Resolver) cachePut(key string, msg *dnswire.Message) {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json
+.PHONY: check vet build test race bench bench-json chaos
 
 check: vet build race bench
 
@@ -15,6 +15,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos suite under the race detector: scans through the fault plane
+# converge to the fault-free dataset, killed scans resume bit-identically,
+# and the breaker/backoff/retry/campaign resilience paths hold up.
+chaos:
+	$(GO) test -race \
+		-run 'Chaos|Checkpoint|Backoff|Breaker|Fault|Injector|Profile|Resilien|Retr|Resume|Dominant|Rotation|Campaign|BlockingStudy|RunDirect|RunRetries|RunDisting|ConnectWithRetry|VirtualClock' \
+		./internal/faults/ ./internal/core/ ./internal/dnsserver/ ./internal/scan/ ./internal/atlas/
 
 # One iteration keeps CI fast; run with a larger -benchtime locally for
 # stable numbers.

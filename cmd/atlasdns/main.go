@@ -11,6 +11,7 @@ import (
 
 	"github.com/relay-networks/privaterelay/internal/dnswire"
 	"github.com/relay-networks/privaterelay/internal/experiments"
+	"github.com/relay-networks/privaterelay/internal/faults"
 )
 
 func main() {
@@ -20,17 +21,29 @@ func main() {
 		probes   = flag.Int("probes", 11700, "number of Atlas probes")
 		clusters = flag.Int("clusters", 1500, "distinct probe /24s")
 		workers  = flag.Int("workers", 8, "campaign/pipeline worker count (results are identical at any count)")
+
+		faultProfile = flag.String("fault-profile", "", "inject DNS faults into the probe transports (preset[,k=v...])")
 	)
 	flag.Parse()
 
 	env := experiments.NewEnv(*seed, *scale)
 	env.PipelineWorkers = *workers
+	if *faultProfile != "" {
+		profile, err := faults.Parse(*faultProfile)
+		if err != nil {
+			log.Fatalf("fault-profile: %v", err)
+		}
+		env.FaultProfile = profile
+	}
 	res, err := env.Atlas(context.Background(), *probes, *clusters)
 	if err != nil {
 		log.Fatalf("atlas: %v", err)
 	}
 
 	fmt.Printf("probes: %d, behind public resolvers: %d‰\n", res.Probes, res.PublicResolvers)
+	c := res.Completeness
+	fmt.Printf("A-campaign completeness: %d/%d answered (%.1f%%), %d timed out, %d errored\n",
+		c.Answered, c.Probes, c.AnsweredShare(), c.TimedOut, c.Errored)
 	fmt.Printf("A validation: %d distinct IPv4 ingress addresses\n", res.V4Found)
 	fmt.Printf("  vs ECS scan: %d extra (fleet churn), %d missing (probe clustering)\n",
 		res.V4ExtraVsECS, res.V4MissingVsECS)

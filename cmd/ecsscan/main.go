@@ -5,6 +5,12 @@
 // By default the scan runs over the in-memory transport; -udp moves the
 // DNS exchange onto a real loopback UDP socket, exercising the full wire
 // format end to end.
+//
+// The resilience plane rides on three flag groups: -fault-profile
+// injects deterministic DNS faults (timeouts, SERVFAIL, bursts) into the
+// exchange path, -retries/-max-passes let the orchestrator absorb them,
+// and -checkpoint/-resume persist progress so a killed scan continues
+// where it stopped and converges to the same dataset.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/core"
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
+	"github.com/relay-networks/privaterelay/internal/faults"
 	"github.com/relay-networks/privaterelay/internal/netsim"
 )
 
@@ -34,8 +41,18 @@ func main() {
 		qps     = flag.Float64("qps", 0, "client-side query rate limit (0 = unlimited)")
 		outPath = flag.String("out", "", "save the dataset to this file")
 		diffOld = flag.String("diff", "", "diff the new dataset against a previously saved one")
+
+		retries      = flag.Int("retries", 1, "per-subnet in-pass query attempts")
+		maxPasses    = flag.Int("max-passes", 1, "scan passes over failed subnets (raise with -fault-profile)")
+		faultProfile = flag.String("fault-profile", "", "inject DNS faults: preset[,k=v...] (e.g. 'mild', 'harsh,seed=7', 'timeout=0.1,servfail=0.05')")
+		ckptPath     = flag.String("checkpoint", "", "periodically checkpoint scan progress to this file")
+		ckptEvery    = flag.Int64("checkpoint-every", 0, "checkpoint flush interval in completed /24s (0 = default)")
+		resume       = flag.Bool("resume", false, "resume from an existing -checkpoint file instead of starting over")
 	)
 	flag.Parse()
+	if *resume && *ckptPath == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
 	if *month < 1 || *month > 4 {
 		log.Fatal("month must be 1..4")
@@ -59,16 +76,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "authoritative server on %s\n", us.Addr())
 	}
 
-	ds, err := core.Scan(context.Background(), core.ScanConfig{
+	var inj *faults.Injector
+	if *faultProfile != "" {
+		profile, err := faults.Parse(*faultProfile)
+		if err != nil {
+			log.Fatalf("fault-profile: %v", err)
+		}
+		inj = faults.NewInjector(exchanger, profile, nil, w.Table.Origin)
+		exchanger = inj
+		fmt.Fprintf(os.Stderr, "fault injection: %s\n", profile)
+	}
+
+	cfg := core.ScanConfig{
 		Exchanger:    exchanger,
 		Domain:       *domain,
 		Universe:     w.RoutedV4Prefixes(),
 		Attribution:  w.Table,
 		RespectScope: !*noSkip,
 		Concurrency:  *conc,
-		Retries:      1,
+		Retries:      *retries,
+		MaxPasses:    *maxPasses,
 		QPS:          *qps,
-	})
+	}
+	if *ckptPath != "" {
+		cfg.Checkpoint = &core.CheckpointConfig{Path: *ckptPath, Every: *ckptEvery, Resume: *resume}
+	}
+	ds, err := core.Scan(context.Background(), cfg)
 	if err != nil {
 		log.Fatalf("scan: %v", err)
 	}
@@ -76,6 +109,20 @@ func main() {
 	fmt.Printf("scan %s %s: %d ingress addresses in %v\n", m, *domain, len(ds.Addresses), ds.Stats.Elapsed)
 	fmt.Printf("queries=%d skipped=%d timeouts=%d (universe %d /24s)\n",
 		ds.Stats.QueriesSent, ds.Stats.SubnetsSkipped, ds.Stats.Timeouts, ds.Stats.SubnetsTotal)
+	if ds.Stats.ResumedSubnets > 0 {
+		fmt.Printf("resumed: %d /24s carried over from %s\n", ds.Stats.ResumedSubnets, *ckptPath)
+	}
+	if ds.Stats.FaultAttempts() > 0 || ds.Stats.Retries > 0 {
+		fmt.Printf("faults: %d faulted attempts (timeout=%d servfail=%d refused=%d truncated=%d stale=%d), %d retries, %d deferrals, %d breaker trips, %d passes, %d subnets lost\n",
+			ds.Stats.FaultAttempts(), ds.Stats.TimeoutAttempts, ds.Stats.ServFailAttempts,
+			ds.Stats.RefusedAttempts, ds.Stats.TruncatedAttempts, ds.Stats.StaleAttempts,
+			ds.Stats.Retries, ds.Stats.Deferrals, ds.Stats.BreakerTrips, ds.Stats.Passes, ds.Stats.FailedSubnets)
+	}
+	if inj != nil {
+		fmt.Printf("injected: %d faults (timeout=%d servfail=%d refused=%d truncated=%d stale=%d)\n",
+			inj.Stats.Total(), inj.Stats.Timeouts.Load(), inj.Stats.ServFails.Load(),
+			inj.Stats.Refused.Load(), inj.Stats.Truncated.Load(), inj.Stats.Stale.Load())
+	}
 	for as, n := range ds.OperatorCounts() {
 		fmt.Printf("  %-10s %5d addresses\n", netsim.ASName(as), n)
 	}

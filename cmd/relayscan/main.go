@@ -11,6 +11,7 @@ import (
 
 	"github.com/relay-networks/privaterelay/internal/analysis"
 	"github.com/relay-networks/privaterelay/internal/experiments"
+	"github.com/relay-networks/privaterelay/internal/faults"
 	"github.com/relay-networks/privaterelay/internal/netsim"
 )
 
@@ -20,13 +21,28 @@ func main() {
 		scale     = flag.Float64("scale", 0.002, "client-universe scale")
 		dayRounds = flag.Int("rounds", 288, "5-minute rounds of the operator scan (288 = one day)")
 		rotRounds = flag.Int("rotation-rounds", 600, "30-second rounds of the rotation scan")
+
+		connectRetries = flag.Int("connect-retries", 0, "tunnel-establishment attempts per round (0 = default 3)")
+		faultProfile   = flag.String("fault-profile", "", "inject DNS faults into the device's resolver path (preset[,k=v...])")
 	)
 	flag.Parse()
 
 	env := experiments.NewEnv(*seed, *scale)
+	env.ConnectRetries.Attempts = *connectRetries
+	if *faultProfile != "" {
+		profile, err := faults.Parse(*faultProfile)
+		if err != nil {
+			log.Fatalf("fault-profile: %v", err)
+		}
+		env.FaultProfile = profile
+	}
 	res, err := env.RelayScan(context.Background(), *dayRounds, *rotRounds)
 	if err != nil {
 		log.Fatalf("relayscan: %v", err)
+	}
+	if res.Rotation.FailedRounds+res.Rotation.SafariFailures+res.Rotation.CurlFailures > 0 {
+		fmt.Printf("degraded rounds: %d failed, %d safari-request failures, %d curl-request failures\n",
+			res.Rotation.FailedRounds, res.Rotation.SafariFailures, res.Rotation.CurlFailures)
 	}
 
 	fmt.Print(analysis.RenderFigure3([]analysis.Figure3Series{

@@ -53,6 +53,16 @@ type Population struct {
 	// Resolvers maps resolver name → instance (shared between probes).
 	Resolvers map[string]*resolver.Resolver
 	handler   dnsserver.Handler
+	wrap      func(dnsserver.Exchanger) dnsserver.Exchanger
+}
+
+// wrapTransport applies the population's transport hook (identity when
+// none was configured).
+func (p *Population) wrapTransport(e dnsserver.Exchanger) dnsserver.Exchanger {
+	if p.wrap == nil {
+		return e
+	}
+	return p.wrap(e)
 }
 
 // FlushCaches drops every resolver's cached responses, returning the
@@ -89,6 +99,12 @@ type Config struct {
 	// Phase shifts the ingress fleet window the upstream answers from,
 	// modeling the time offset between the ECS scan and the Atlas run.
 	Phase int
+	// WrapTransport, when non-nil, wraps every probe-facing transport —
+	// the resolvers' upstream exchangers and the direct-measurement
+	// path — before first use. It is the hook the fault-injection plane
+	// (internal/faults) plugs into: wrap with a faults.Injector to run
+	// campaigns against a lossy upstream.
+	WrapTransport func(dnsserver.Exchanger) dnsserver.Exchanger
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +147,7 @@ func NewPopulation(w *netsim.World, month bgp.Month, cfg Config) *Population {
 	cfg = cfg.withDefaults()
 	pop := &Population{
 		Resolvers: make(map[string]*resolver.Resolver),
+		wrap:      cfg.WrapTransport,
 	}
 	handler := newPhaseHandler(w, month, cfg.Phase)
 	pop.handler = handler
@@ -139,7 +156,7 @@ func NewPopulation(w *netsim.World, month bgp.Month, cfg Config) *Population {
 		if r, ok := pop.Resolvers[name]; ok {
 			return r
 		}
-		r := resolver.New(addr, &dnsserver.MemTransport{Handler: handler, Source: addr})
+		r := resolver.New(addr, pop.wrapTransport(&dnsserver.MemTransport{Handler: handler, Source: addr}))
 		pop.Resolvers[name] = r
 		return r
 	}
@@ -349,6 +366,53 @@ type MeasurementResult struct {
 	RCode    dnswire.RCode
 	TimedOut bool
 	Hijacked bool
+	// Err records a hard per-probe measurement failure (broken transport,
+	// malformed exchange) that is neither a timeout nor a DNS-level
+	// response. Errored probes keep their slot in the result slice so
+	// indexes stay probe-aligned; they carry no answer.
+	Err error
+}
+
+// Completeness is a campaign's outcome accounting: every probe lands in
+// exactly one bucket, so Answered+TimedOut+Errored == Probes.
+type Completeness struct {
+	// Probes is the number of vantage points measured.
+	Probes int
+	// Answered counts probes that got a DNS response, whatever its RCode.
+	Answered int
+	// TimedOut counts probes whose measurement timed out (connectivity,
+	// fault injection, or timeout-prone probes).
+	TimedOut int
+	// Errored counts probes with a hard failure (MeasurementResult.Err).
+	Errored int
+}
+
+// Complete reports whether every probe produced a classifiable outcome —
+// an answer or a timeout — with no hard errors.
+func (c Completeness) Complete() bool { return c.Errored == 0 }
+
+// AnsweredShare returns the answered share in percent.
+func (c Completeness) AnsweredShare() float64 {
+	if c.Probes == 0 {
+		return 0
+	}
+	return float64(c.Answered) / float64(c.Probes) * 100
+}
+
+// Summarize buckets a campaign's results into its Completeness.
+func Summarize(results []MeasurementResult) Completeness {
+	c := Completeness{Probes: len(results)}
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			c.Errored++
+		case r.TimedOut:
+			c.TimedOut++
+		default:
+			c.Answered++
+		}
+	}
+	return c
 }
 
 // Campaign runs one DNS measurement across all probes.
@@ -371,8 +435,10 @@ const DefaultWorkers = 8
 const campaignBatch = 64
 
 // runPool fans the probe set out to a bounded worker pool. measure fills
-// out[i] for probe i; the first error stops the pool and is returned
-// alone, matching the sequential contract.
+// out[i] for probe i. A campaign is a survey: one broken vantage point
+// must not cost the other eleven thousand, so per-probe failures land in
+// out[i].Err instead of stopping the pool, and the only error returned
+// is the context's when the campaign itself is cancelled.
 func runPool(ctx context.Context, pop *Population, workers int, measure func(p *Probe, res *MeasurementResult) error) ([]MeasurementResult, error) {
 	n := len(pop.Probes)
 	out := make([]MeasurementResult, n)
@@ -383,35 +449,30 @@ func runPool(ctx context.Context, pop *Population, workers int, measure func(p *
 		workers = 1
 	}
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		errOnce  sync.Once
-		firstErr error
-		wg       sync.WaitGroup
+		next atomic.Int64
+		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
+			for ctx.Err() == nil {
 				lo := int(next.Add(campaignBatch)) - campaignBatch
 				if lo >= n {
 					return
 				}
 				for i := lo; i < min(lo+campaignBatch, n); i++ {
 					if err := measure(&pop.Probes[i], &out[i]); err != nil {
-						errOnce.Do(func() { firstErr = err })
-						failed.Store(true)
-						return
+						if ctx.Err() != nil {
+							return // cancellation, not a probe fault
+						}
+						out[i].Err = err
 					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if failed.Load() {
-		return nil, firstErr
-	}
 	return out, ctx.Err()
 }
 
@@ -486,7 +547,7 @@ func (c Campaign) RunDirect(ctx context.Context, pop *Population) ([]Measurement
 		if c.Type == dnswire.TypeAAAA {
 			src = probeV6Identity(uint64(p.ID))
 		}
-		mt := &dnsserver.MemTransport{Handler: pop.handler, Source: src}
+		mt := pop.wrapTransport(&dnsserver.MemTransport{Handler: pop.handler, Source: src})
 		q := dnswire.NewQuery(uint16(p.ID), c.Domain, c.Type)
 		resp, err := mt.Exchange(ctx, q)
 		if errors.Is(err, dnsserver.ErrTimeout) {

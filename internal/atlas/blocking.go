@@ -17,6 +17,9 @@ type BlockingReport struct {
 	// measurement shows similar shares, so these are NOT counted as
 	// blocking.
 	TimedOut int
+	// Errored counts probes whose measurement failed hard (broken
+	// transport). Like timeouts, these are brokenness, not blocking.
+	Errored int
 	// FailedWithResponse counts probes that received a DNS response but
 	// no usable answer.
 	FailedWithResponse int
@@ -75,8 +78,11 @@ func BlockingStudyWorkers(ctx context.Context, pop *Population, workers int) (*B
 		ByRCode: make(map[dnswire.RCode]int),
 	}
 	for i, r := range relay {
-		controlOK := !control[i].TimedOut && control[i].RCode == dnswire.RCodeNoError && len(control[i].Addrs) > 0
+		controlOK := control[i].Err == nil && !control[i].TimedOut &&
+			control[i].RCode == dnswire.RCodeNoError && len(control[i].Addrs) > 0
 		switch {
+		case r.Err != nil:
+			report.Errored++
 		case r.TimedOut:
 			report.TimedOut++
 		case r.Hijacked:

@@ -5,10 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"os"
+	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 
 	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/faults"
 )
 
 // Dataset persistence: the paper publishes its collected ingress address
@@ -86,4 +90,290 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 		return nil, err
 	}
 	return ds, nil
+}
+
+// WriteCanonical serializes the scan's *result* — the address set and the
+// per-client-AS serving statistics, both sorted — and nothing volatile.
+// Two runs that discovered the same network state produce byte-identical
+// canonical output even when their paths differed (retries, faults,
+// checkpoint resumes, worker interleavings), so it is the comparison
+// artifact for equivalence and resume tests and for published datasets.
+func (ds *Dataset) WriteCanonical(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# canonical %s\n", ds.Domain)
+	addrs := make([]netip.Addr, 0, len(ds.Addresses))
+	for a := range ds.Addresses {
+		addrs = append(addrs, a)
+	}
+	sortAddrs(addrs)
+	for _, a := range addrs {
+		fmt.Fprintf(bw, "A %s,%d\n", a, uint32(ds.Addresses[a]))
+	}
+	clients := make([]bgp.ASN, 0, len(ds.Serving))
+	for as := range ds.Serving {
+		clients = append(clients, as)
+	}
+	slices.Sort(clients)
+	for _, client := range clients {
+		ops := ds.Serving[client].SubnetsByOperator
+		opList := make([]bgp.ASN, 0, len(ops))
+		for op := range ops {
+			opList = append(opList, op)
+		}
+		slices.Sort(opList)
+		for _, op := range opList {
+			fmt.Fprintf(bw, "S %d,%d,%d\n", uint32(client), uint32(op), ops[op])
+		}
+	}
+	return bw.Flush()
+}
+
+// Checkpoint is a consistent snapshot of scan progress: everything
+// collected so far plus the done-bitmap over the /24 universe, written
+// periodically so a killed scan resumes where it left off and converges
+// to the same canonical dataset an uninterrupted run produces.
+type Checkpoint struct {
+	Domain        string
+	UniverseTotal int64
+	Addresses     map[netip.Addr]bgp.ASN
+	Serving       map[bgp.ASN]map[bgp.ASN]int64
+	Ledger        map[netip.Prefix]*SubnetFault
+	Counters      map[string]int64
+	// DoneRanges are inclusive [start, end] runs of completed universe
+	// indices (run-length encoding keeps full-coverage checkpoints tiny).
+	DoneRanges [][2]int64
+}
+
+// Write serializes the checkpoint in a line-oriented format matching the
+// dataset CSV family: `# key value` metadata, then tagged rows.
+func (ck *Checkpoint) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# checkpoint v1\n")
+	fmt.Fprintf(bw, "# domain %s\n", ck.Domain)
+	fmt.Fprintf(bw, "# universe %d\n", ck.UniverseTotal)
+	keys := make([]string, 0, len(ck.Counters))
+	for k := range ck.Counters {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		fmt.Fprintf(bw, "# counter %s %d\n", k, ck.Counters[k])
+	}
+	addrs := make([]netip.Addr, 0, len(ck.Addresses))
+	for a := range ck.Addresses {
+		addrs = append(addrs, a)
+	}
+	sortAddrs(addrs)
+	for _, a := range addrs {
+		fmt.Fprintf(bw, "A %s,%d\n", a, uint32(ck.Addresses[a]))
+	}
+	clients := make([]bgp.ASN, 0, len(ck.Serving))
+	for as := range ck.Serving {
+		clients = append(clients, as)
+	}
+	slices.Sort(clients)
+	for _, client := range clients {
+		ops := ck.Serving[client]
+		opList := make([]bgp.ASN, 0, len(ops))
+		for op := range ops {
+			opList = append(opList, op)
+		}
+		slices.Sort(opList)
+		for _, op := range opList {
+			fmt.Fprintf(bw, "S %d,%d,%d\n", uint32(client), uint32(op), ops[op])
+		}
+	}
+	subnets := make([]netip.Prefix, 0, len(ck.Ledger))
+	for p := range ck.Ledger {
+		subnets = append(subnets, p)
+	}
+	slices.SortFunc(subnets, func(a, b netip.Prefix) int { return a.Addr().Compare(b.Addr()) })
+	for _, p := range subnets {
+		e := ck.Ledger[p]
+		rec := 0
+		if e.Recovered {
+			rec = 1
+		}
+		fmt.Fprintf(bw, "L %s,%d,%d,%d,%d,%d,%d,%s,%d\n", p,
+			e.Timeouts, e.ServFails, e.Refused, e.Truncated, e.Stale,
+			e.Attempts, e.LastKind, rec)
+	}
+	for _, r := range ck.DoneRanges {
+		fmt.Fprintf(bw, "D %d-%d\n", r[0], r[1])
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the checkpoint atomically: temp file in the target's
+// directory, fsync-free rename. A crash mid-write leaves the previous
+// checkpoint intact.
+func (ck *Checkpoint) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	if err := ck.Write(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCheckpoint parses a checkpoint written by Write.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	ck := &Checkpoint{
+		Addresses: make(map[netip.Addr]bgp.ASN),
+		Serving:   make(map[bgp.ASN]map[bgp.ASN]int64),
+		Ledger:    make(map[netip.Prefix]*SubnetFault),
+		Counters:  make(map[string]int64),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line, sawHeader := 0, false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		bad := func(err error) (*Checkpoint, error) {
+			return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(strings.TrimPrefix(text, "#"))
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "checkpoint":
+				if len(fields) != 2 || fields[1] != "v1" {
+					return bad(fmt.Errorf("unsupported version %q", text))
+				}
+				sawHeader = true
+			case "domain":
+				if len(fields) == 2 {
+					ck.Domain = fields[1]
+				}
+			case "universe":
+				if len(fields) == 2 {
+					ck.UniverseTotal, _ = strconv.ParseInt(fields[1], 10, 64)
+				}
+			case "counter":
+				if len(fields) == 3 {
+					ck.Counters[fields[1]], _ = strconv.ParseInt(fields[2], 10, 64)
+				}
+			}
+			continue
+		}
+		if !sawHeader {
+			return bad(fmt.Errorf("missing `# checkpoint v1` header"))
+		}
+		tag, rest, ok := strings.Cut(text, " ")
+		if !ok {
+			return bad(fmt.Errorf("want `TAG payload`, got %q", text))
+		}
+		switch tag {
+		case "A":
+			parts := strings.Split(rest, ",")
+			if len(parts) != 2 {
+				return bad(fmt.Errorf("want A addr,asn"))
+			}
+			addr, err := netip.ParseAddr(parts[0])
+			if err != nil {
+				return bad(err)
+			}
+			asn, err := strconv.ParseUint(parts[1], 10, 32)
+			if err != nil {
+				return bad(err)
+			}
+			ck.Addresses[addr] = bgp.ASN(asn)
+		case "S":
+			parts := strings.Split(rest, ",")
+			if len(parts) != 3 {
+				return bad(fmt.Errorf("want S client,operator,count"))
+			}
+			nums := make([]int64, 3)
+			for i, p := range parts {
+				n, err := strconv.ParseInt(p, 10, 64)
+				if err != nil {
+					return bad(err)
+				}
+				nums[i] = n
+			}
+			client, op := bgp.ASN(nums[0]), bgp.ASN(nums[1])
+			if ck.Serving[client] == nil {
+				ck.Serving[client] = make(map[bgp.ASN]int64)
+			}
+			ck.Serving[client][op] = nums[2]
+		case "L":
+			parts := strings.Split(rest, ",")
+			if len(parts) != 9 {
+				return bad(fmt.Errorf("want 9 ledger fields, got %d", len(parts)))
+			}
+			p, err := netip.ParsePrefix(parts[0])
+			if err != nil {
+				return bad(err)
+			}
+			e := &SubnetFault{Subnet: p}
+			for i, dst := range []*int32{&e.Timeouts, &e.ServFails, &e.Refused, &e.Truncated, &e.Stale, &e.Attempts} {
+				n, err := strconv.ParseInt(parts[1+i], 10, 32)
+				if err != nil {
+					return bad(err)
+				}
+				*dst = int32(n)
+			}
+			if e.LastKind, err = faults.ParseKind(parts[7]); err != nil {
+				return bad(err)
+			}
+			e.Recovered = parts[8] == "1"
+			ck.Ledger[p] = e
+		case "D":
+			lo, hi, ok := strings.Cut(rest, "-")
+			if !ok {
+				return bad(fmt.Errorf("want D start-end"))
+			}
+			start, err := strconv.ParseInt(lo, 10, 64)
+			if err != nil {
+				return bad(err)
+			}
+			end, err := strconv.ParseInt(hi, 10, 64)
+			if err != nil {
+				return bad(err)
+			}
+			if start < 0 || end < start {
+				return bad(fmt.Errorf("range %d-%d invalid", start, end))
+			}
+			ck.DoneRanges = append(ck.DoneRanges, [2]int64{start, end})
+		default:
+			return bad(fmt.Errorf("unknown tag %q", tag))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("core: not a checkpoint file (no `# checkpoint v1` header)")
+	}
+	return ck, nil
+}
+
+// LoadCheckpoint reads a checkpoint file. A missing file surfaces as
+// os.ErrNotExist so resume-from-nothing can start fresh.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck, err := ReadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	return ck, nil
 }

@@ -10,6 +10,14 @@
 // measures from §7 are implemented faithfully: unrouted space is never
 // queried, and answers whose ECS scope covers more than a /24 suppress
 // all further queries inside that scope.
+//
+// The paper's headline scan ran ~40 hours against a rate-limited
+// authoritative; the orchestration here is built to survive that:
+// per-attempt classification of timeouts, SERVFAIL, REFUSED, truncation
+// and stale responses, exponential backoff with decorrelated jitter, a
+// shared circuit breaker, a per-subnet failure ledger, deferred-subnet
+// retry passes, and periodic checkpoints a killed scan resumes from with
+// bit-identical results.
 package core
 
 import (
@@ -17,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"os"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -25,8 +34,21 @@ import (
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
 	"github.com/relay-networks/privaterelay/internal/dnswire"
+	"github.com/relay-networks/privaterelay/internal/faults"
 	"github.com/relay-networks/privaterelay/internal/iputil"
 )
+
+// CheckpointConfig enables periodic progress snapshots so a killed scan
+// restarts where it left off.
+type CheckpointConfig struct {
+	// Path is the checkpoint file; writes are atomic (temp + rename).
+	Path string
+	// Every is how many newly completed /24s trigger a snapshot
+	// (default 1<<15).
+	Every int64
+	// Resume loads Path if it exists and skips its completed subnets.
+	Resume bool
+}
 
 // ScanConfig configures one ECS enumeration scan.
 type ScanConfig struct {
@@ -51,20 +73,66 @@ type ScanConfig struct {
 	RespectScope bool
 	// Concurrency is the number of parallel query workers (default 8).
 	Concurrency int
-	// Retries is the number of re-attempts after a timeout (default 1).
+	// Retries is the number of in-pass re-attempts after a retryable
+	// failure (timeout, SERVFAIL, REFUSED, truncation, stale ID) before
+	// the subnet is deferred to a later pass (default 1).
 	Retries int
 	// QPS rate-limits the client side; zero disables limiting.
 	QPS float64
+
+	// Backoff paces re-attempts; the zero value disables backoff sleeps.
+	Backoff BackoffConfig
+	// Breaker trips on sustained SERVFAIL/REFUSED; zero Threshold
+	// disables it.
+	Breaker BreakerConfig
+	// RetryBudget caps the retries each worker may spend per pass
+	// (0 = unlimited). Once exhausted, failing subnets defer immediately.
+	RetryBudget int64
+	// MaxPasses bounds the deferred-subnet retry passes (default 1: the
+	// pre-resilience single sweep).
+	MaxPasses int
+	// Clock drives backoff, breaker cooldowns and inter-pass waits
+	// (default wall clock; tests use a faults.VirtualClock).
+	Clock faults.Clock
+	// Checkpoint enables periodic progress snapshots (nil disables; the
+	// snapshot-free hot path is unchanged).
+	Checkpoint *CheckpointConfig
 }
 
 // ScanStats counts scanner activity.
 type ScanStats struct {
-	QueriesSent    int64
+	QueriesSent    int64 // individual query attempts sent
 	SubnetsTotal   int64 // /24s in the universe
 	SubnetsSkipped int64 // suppressed by a covering scope
-	Timeouts       int64 // queries lost after retries
-	Errors         int64 // non-timeout failures
-	Elapsed        time.Duration
+	Timeouts       int64 // subnets lost after every pass, last fault a timeout
+	Errors         int64 // subnets lost to non-retryable errors or other faults
+
+	// Per-attempt fault observations; these reconcile 1:1 against an
+	// injecting fault plane's counters.
+	TimeoutAttempts   int64
+	ServFailAttempts  int64
+	RefusedAttempts   int64
+	TruncatedAttempts int64
+	StaleAttempts     int64
+
+	Retries        int64 // re-attempts beyond each subnet's first query
+	Deferrals      int64 // subnet deferrals to a later pass
+	BreakerTrips   int64
+	Passes         int64
+	ResumedSubnets int64 // skipped because the checkpoint marked them done
+	FailedSubnets  int64 // subnets unrecovered after all passes
+
+	// Ledger is the per-subnet failure ledger: every /24 that met at
+	// least one fault, with per-kind counts and recovery status.
+	Ledger map[netip.Prefix]*SubnetFault
+
+	Elapsed time.Duration
+}
+
+// FaultAttempts sums the per-attempt fault observations.
+func (s *ScanStats) FaultAttempts() int64 {
+	return s.TimeoutAttempts + s.ServFailAttempts + s.RefusedAttempts +
+		s.TruncatedAttempts + s.StaleAttempts
 }
 
 // Dataset is the result of one scan: the ingress addresses with AS
@@ -150,23 +218,65 @@ func (s *skipIndex) insert(p netip.Prefix, op bgp.ASN) bool {
 	return true
 }
 
-// scanShard is one worker's private accumulator. Workers never share
-// mutable state on the steady-state path; shards are merged into the
-// Dataset once after the WaitGroup drains.
+// subnetRef is one /24 work unit: its prefix, its stable index in the
+// universe enumeration (for the checkpoint bitmap) and its cumulative
+// attempt count, carried across passes so retry randomness and backoff
+// keep progressing instead of replaying.
+type subnetRef struct {
+	p        netip.Prefix
+	idx      int64
+	attempts int32
+}
+
+// scanShard is one accumulator: a worker's private shard on the
+// hot path, a per-batch mini on the checkpoint path, and the master
+// accumulation a checkpoint persists. Workers never share mutable state
+// on the steady-state path.
 type scanShard struct {
-	addrs    map[netip.Addr]bgp.ASN
-	serving  map[bgp.ASN]map[bgp.ASN]int64 // client AS → operator → /24s
-	queries  int64
-	skipped  int64
-	timeouts int64
-	errors   int64
+	addrs   map[netip.Addr]bgp.ASN
+	serving map[bgp.ASN]map[bgp.ASN]int64 // client AS → operator → /24s
+	ledger  map[netip.Prefix]*SubnetFault
+
+	queries, skipped, retries, deferrals int64
+	termErrors                           int64 // subnets lost to non-retryable errors
+	tAttempts, sfAttempts, refAttempts   int64
+	trAttempts, stAttempts               int64
 }
 
 func newScanShard() *scanShard {
 	return &scanShard{
 		addrs:   make(map[netip.Addr]bgp.ASN),
 		serving: make(map[bgp.ASN]map[bgp.ASN]int64),
+		ledger:  make(map[netip.Prefix]*SubnetFault),
 	}
+}
+
+// absorb folds another shard into sh.
+func (sh *scanShard) absorb(o *scanShard) {
+	for addr, as := range o.addrs {
+		sh.addrs[addr] = as
+	}
+	for clientAS, ops := range o.serving {
+		dst := sh.serving[clientAS]
+		if dst == nil {
+			dst = make(map[bgp.ASN]int64, len(ops))
+			sh.serving[clientAS] = dst
+		}
+		for op, n := range ops {
+			dst[op] += n
+		}
+	}
+	mergeLedgers(sh.ledger, o.ledger)
+	sh.queries += o.queries
+	sh.skipped += o.skipped
+	sh.retries += o.retries
+	sh.deferrals += o.deferrals
+	sh.termErrors += o.termErrors
+	sh.tAttempts += o.tAttempts
+	sh.sfAttempts += o.sfAttempts
+	sh.refAttempts += o.refAttempts
+	sh.trAttempts += o.trAttempts
+	sh.stAttempts += o.stAttempts
 }
 
 // account attributes one served /24 to the subnet's own client AS under
@@ -193,8 +303,8 @@ func (sh *scanShard) skipCovered(attr *bgp.Reader, subnet netip.Prefix, operator
 	sh.account(attr, subnet, operator)
 }
 
-// record folds one response into the shard.
-func (sh *scanShard) record(cfg ScanConfig, attr *bgp.Reader, subnet netip.Prefix, resp *dnswire.Message, skip *skipIndex, global *atomic.Pointer[bgp.ASN]) {
+// record folds one successful response into the shard.
+func (sh *scanShard) record(cfg *ScanConfig, attr *bgp.Reader, subnet netip.Prefix, resp *dnswire.Message, skip *skipIndex, global *atomic.Pointer[bgp.ASN]) {
 	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answers) == 0 {
 		return
 	}
@@ -239,6 +349,224 @@ func (sh *scanShard) record(cfg ScanConfig, attr *bgp.Reader, subnet netip.Prefi
 	sh.account(attr, subnet, operator)
 }
 
+// attemptOutcome classifies one exchange.
+type attemptOutcome int8
+
+const (
+	outcomeOK attemptOutcome = iota
+	outcomeTimeout
+	outcomeServFail
+	outcomeRefused
+	outcomeTruncated
+	outcomeStale
+	outcomeError // non-retryable transport error
+)
+
+func classify(resp *dnswire.Message, err error, wantID uint16) attemptOutcome {
+	switch {
+	case errors.Is(err, dnsserver.ErrTimeout):
+		return outcomeTimeout
+	case err != nil:
+		return outcomeError
+	case resp.Header.ID != wantID:
+		return outcomeStale
+	case resp.Header.RCode == dnswire.RCodeServFail:
+		return outcomeServFail
+	case resp.Header.RCode == dnswire.RCodeRefused:
+		return outcomeRefused
+	case resp.Header.Truncated && len(resp.Answers) == 0:
+		return outcomeTruncated
+	default:
+		return outcomeOK
+	}
+}
+
+// scanState carries the shared scan machinery across passes.
+type scanState struct {
+	cfg     *ScanConfig
+	attr    *bgp.Reader
+	clock   faults.Clock
+	skip    skipIndex
+	global  atomic.Pointer[bgp.ASN] // set once by the first scope-0 answer
+	limiter *tokenBucket
+	breaker *circuitBreaker
+
+	// Checkpoint mode state (nil/unused on the hot path). done is owned
+	// by the collector goroutine while a pass runs; resumed is the frozen
+	// snapshot loaded from the checkpoint, safe for the producer to read
+	// concurrently.
+	master        *scanShard
+	done          *bitset
+	resumed       *bitset
+	universeTotal int64
+	ckptErr       error
+
+	scanErr error
+	errOnce sync.Once
+}
+
+func (st *scanState) fail(err error) {
+	st.errOnce.Do(func() { st.scanErr = err })
+}
+
+// scanWorker is one worker's per-pass view.
+type scanWorker struct {
+	st       *scanState
+	sh       *scanShard // persistent on the hot path; per-batch mini otherwise
+	budget   int64      // remaining retry budget this pass (<0 = unlimited)
+	deferred []subnetRef
+}
+
+// ledgerFail records one failed attempt for the subnet.
+func ledgerFail(sh *scanShard, subnet netip.Prefix, out attemptOutcome) {
+	e := sh.ledger[subnet]
+	if e == nil {
+		e = &SubnetFault{Subnet: subnet}
+		sh.ledger[subnet] = e
+	}
+	e.Attempts++
+	e.LastKind = faults.KindTimeout
+	switch out {
+	case outcomeTimeout:
+		e.Timeouts++
+		sh.tAttempts++
+	case outcomeServFail:
+		e.ServFails++
+		e.LastKind = faults.KindServFail
+		sh.sfAttempts++
+	case outcomeRefused:
+		e.Refused++
+		e.LastKind = faults.KindRefused
+		sh.refAttempts++
+	case outcomeTruncated:
+		e.Truncated++
+		e.LastKind = faults.KindTruncate
+		sh.trAttempts++
+	case outcomeStale:
+		e.Stale++
+		e.LastKind = faults.KindStale
+		sh.stAttempts++
+	}
+}
+
+// processSubnet runs one subnet to completion, deferral or terminal
+// failure. It reports whether the subnet is done (success, scope-skip or
+// terminal error); deferred subnets are appended to w.deferred with
+// their attempt count advanced.
+func (w *scanWorker) processSubnet(ctx context.Context, sh *scanShard, ref subnetRef) bool {
+	st, cfg := w.st, w.st.cfg
+	if cfg.RespectScope {
+		if op := st.global.Load(); op != nil {
+			sh.skipCovered(st.attr, ref.p, *op)
+			return true
+		}
+		if op, ok := st.skip.lookup(ref.p.Addr()); ok {
+			sh.skipCovered(st.attr, ref.p, op)
+			return true
+		}
+	}
+
+	key := iputil.HashPrefix(ref.p)
+	for inPass := 0; ; inPass++ {
+		admitted, probe := st.breaker.acquire(ctx)
+		if !admitted {
+			w.defer_(sh, ref)
+			return false
+		}
+		st.limiter.wait()
+
+		// A fresh transaction ID per attempt: a late response to attempt
+		// N cannot satisfy attempt N+1.
+		id := uint16(iputil.Mix(key, uint64(ref.attempts)))
+		q := dnswire.NewQuery(id, cfg.Domain, cfg.QType).WithECS(ref.p)
+		resp, err := cfg.Exchanger.Exchange(ctx, q)
+		sh.queries++
+		if ref.attempts > 0 {
+			sh.retries++
+		}
+		ref.attempts++
+
+		out := classify(resp, err, id)
+		switch out {
+		case outcomeOK:
+			st.breaker.success(probe)
+			sh.record(cfg, st.attr, ref.p, resp, &st.skip, &st.global)
+			return true
+		case outcomeError:
+			if ctx.Err() != nil {
+				// Cancellation is not a subnet failure: leave the subnet
+				// incomplete so a checkpoint resume redoes it.
+				st.fail(ctx.Err())
+				w.defer_(sh, ref)
+				return false
+			}
+			// Non-retryable transport error: the subnet is lost, the scan
+			// carries on.
+			sh.termErrors++
+			return true
+		case outcomeServFail, outcomeRefused:
+			st.breaker.serverFailure(probe)
+		default:
+			// Timeouts, truncation and stale responses do not feed the
+			// breaker, but a failed half-open probe must re-open it.
+			if probe {
+				st.breaker.serverFailure(true)
+			}
+		}
+		ledgerFail(sh, ref.p, out)
+
+		if inPass >= cfg.Retries || !w.spendBudget() || ctx.Err() != nil {
+			w.defer_(sh, ref)
+			return false
+		}
+		if d := cfg.Backoff.delay(key, int(ref.attempts)-1); d > 0 {
+			if st.clock.Sleep(ctx, d) != nil {
+				w.defer_(sh, ref)
+				return false
+			}
+		}
+	}
+}
+
+// spendBudget consumes one unit of the worker's per-pass retry budget.
+func (w *scanWorker) spendBudget() bool {
+	if w.budget < 0 {
+		return true
+	}
+	if w.budget == 0 {
+		return false
+	}
+	w.budget--
+	return true
+}
+
+// defer_ pushes the subnet to the next pass. Recovery status is not
+// tracked here: whether a ledgered subnet ultimately recovered is
+// decided at finalize time from the still-pending set, which also
+// covers subnets the breaker deferred before any attempt and subnets a
+// later pass completed via a covering scope.
+func (w *scanWorker) defer_(sh *scanShard, ref subnetRef) {
+	sh.deferrals++
+	w.deferred = append(w.deferred, ref)
+}
+
+// batchResult is one completed batch on the checkpoint path.
+type batchResult struct {
+	mini *scanShard
+	done []int64
+}
+
+// universeSize counts the /24s the scan will cover.
+func universeSize(universe []netip.Prefix) int64 {
+	var total int64
+	for _, p := range universe {
+		if p.Addr().Is4() {
+			total += int64(iputil.SubnetCount(p, 24))
+		}
+	}
+	return total
+}
+
 // Scan runs the enumeration and returns the dataset.
 //
 // The steady-state path is contention-free: each worker accumulates into
@@ -248,6 +576,9 @@ func (sh *scanShard) record(cfg ScanConfig, attr *bgp.Reader, subnet netip.Prefi
 // and SubnetsSkipped are deterministic — identical for any Concurrency —
 // on a lossless deterministic transport; only QueriesSent may vary, when
 // racing workers query subnets a covering scope was about to suppress.
+// Under a fault plane the same holds for Addresses and Serving once
+// every subnet recovers (MaxPasses permitting): faults change the path,
+// not the dataset.
 func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 	if cfg.Exchanger == nil {
 		return nil, ErrNoExchanger
@@ -261,6 +592,12 @@ func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 	if cfg.QType == 0 {
 		cfg.QType = dnswire.TypeA
 	}
+	if cfg.MaxPasses <= 0 {
+		cfg.MaxPasses = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = faults.WallClock{}
+	}
 	start := time.Now()
 	ds := &Dataset{
 		Domain:    dnswire.CanonicalName(cfg.Domain),
@@ -272,134 +609,268 @@ func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 		attr = cfg.Attribution.Snapshot()
 	}
 
-	var (
-		skip    skipIndex
-		global  atomic.Pointer[bgp.ASN] // set once by the first scope-0 answer
-		limiter = newTokenBucket(cfg.QPS)
-		work    = make(chan []netip.Prefix, 2*cfg.Concurrency)
-		wg      sync.WaitGroup
-		scanErr error
-		errOnce sync.Once
-	)
+	st := &scanState{
+		cfg:     &cfg,
+		attr:    attr,
+		clock:   cfg.Clock,
+		limiter: newTokenBucket(cfg.QPS),
+		breaker: newCircuitBreaker(cfg.Breaker, cfg.Clock),
+	}
+
+	total := universeSize(cfg.Universe)
+	ds.Stats.SubnetsTotal = total
+	st.universeTotal = total
+
+	// Checkpoint mode: resume prior progress and accumulate through a
+	// single collector whose consistent view is what gets persisted.
+	if cfg.Checkpoint != nil {
+		if cfg.Checkpoint.Every <= 0 {
+			cfg.Checkpoint.Every = 1 << 15
+		}
+		st.master = newScanShard()
+		st.done = newBitset(total)
+		if cfg.Checkpoint.Resume {
+			if err := st.loadCheckpoint(ds.Domain, total); err != nil {
+				return nil, err
+			}
+			snap := newBitset(total)
+			copy(snap.words, st.done.words)
+			snap.n = st.done.n
+			st.resumed = snap
+		}
+		ds.Stats.ResumedSubnets = st.done.count()
+	}
 
 	shards := make([]*scanShard, cfg.Concurrency)
-	worker := func(sh *scanShard) {
-		defer wg.Done()
-		for batch := range work {
-			for _, subnet := range batch {
-				if err := ctx.Err(); err != nil {
-					errOnce.Do(func() { scanErr = err })
-					continue
-				}
-				if cfg.RespectScope {
-					if op := global.Load(); op != nil {
-						sh.skipCovered(attr, subnet, *op)
-						continue
-					}
-					if op, ok := skip.lookup(subnet.Addr()); ok {
-						sh.skipCovered(attr, subnet, op)
-						continue
-					}
-				}
-				limiter.wait()
-				resp, err := exchangeWithRetry(ctx, cfg, subnet)
-				sh.queries++ // retries counted inside exchangeWithRetry
-				if err != nil {
-					if errors.Is(err, dnsserver.ErrTimeout) {
-						sh.timeouts++
-					} else {
-						sh.errors++
-					}
-					continue
-				}
-				sh.record(cfg, attr, subnet, resp, &skip, &global)
+	for i := range shards {
+		shards[i] = newScanShard()
+	}
+
+	var pending []subnetRef
+	for pass := 1; ; pass++ {
+		ds.Stats.Passes++
+		var deferred []subnetRef
+		if pass == 1 {
+			deferred = st.runPass(ctx, shards, nil, true)
+		} else {
+			deferred = st.runPass(ctx, shards, pending, false)
+		}
+		pending = deferred
+		if len(pending) == 0 || pass >= cfg.MaxPasses || ctx.Err() != nil || st.ckptErr != nil {
+			break
+		}
+		// Inter-pass backoff: give outages room to clear before the
+		// next sweep over the deferred set.
+		if d := cfg.Backoff.delay(uint64(pass)^0x9A55, pass+2); d > 0 {
+			if st.clock.Sleep(ctx, d) != nil {
+				break
 			}
+		} else if cfg.Backoff.Base <= 0 && st.breaker != nil {
+			// Breaker without backoff: still let the cooldown elapse.
+			_ = st.clock.Sleep(ctx, st.breaker.cfg.Cooldown)
 		}
 	}
 
-	wg.Add(cfg.Concurrency)
-	for i := 0; i < cfg.Concurrency; i++ {
-		shards[i] = newScanShard()
-		go worker(shards[i])
+	// Merge: worker shards on the hot path, the collector's master in
+	// checkpoint mode (worker shards are empty there).
+	merged := newScanShard()
+	if st.master != nil {
+		merged = st.master
+	}
+	for _, sh := range shards {
+		merged.absorb(sh)
+	}
+	ds.Addresses = merged.addrs
+	for clientAS, ops := range merged.serving {
+		st2 := &ServingStats{SubnetsByOperator: ops}
+		ds.Serving[clientAS] = st2
+	}
+	ds.Stats.QueriesSent = merged.queries
+	ds.Stats.SubnetsSkipped = merged.skipped
+	ds.Stats.Retries = merged.retries
+	ds.Stats.Deferrals = merged.deferrals
+	ds.Stats.TimeoutAttempts = merged.tAttempts
+	ds.Stats.ServFailAttempts = merged.sfAttempts
+	ds.Stats.RefusedAttempts = merged.refAttempts
+	ds.Stats.TruncatedAttempts = merged.trAttempts
+	ds.Stats.StaleAttempts = merged.stAttempts
+	ds.Stats.BreakerTrips = st.breaker.tripCount()
+	ds.Stats.Ledger = merged.ledger
+	ds.Stats.Errors = merged.termErrors
+
+	// Recovery is decided here, not during the scan: a subnet is
+	// unrecovered iff it is still pending when the passes end. Everything
+	// else in the ledger — including subnets a later pass completed via a
+	// covering scope — recovered.
+	unrecovered := make(map[netip.Prefix]bool, len(pending))
+	for _, ref := range pending {
+		unrecovered[ref.p] = true
+		if _, ok := merged.ledger[ref.p]; !ok {
+			// Deferred before any attempt (breaker denial, cancellation).
+			merged.ledger[ref.p] = &SubnetFault{Subnet: ref.p}
+		}
+	}
+	for p, e := range merged.ledger {
+		if !unrecovered[p] {
+			e.Recovered = true
+			continue
+		}
+		e.Recovered = false
+		ds.Stats.FailedSubnets++
+		if e.LastKind == faults.KindTimeout && e.Timeouts > 0 {
+			ds.Stats.Timeouts++
+		} else {
+			ds.Stats.Errors++
+		}
 	}
 
-	total := int64(0)
-	batch := make([]netip.Prefix, 0, workBatchSize)
+	// Final checkpoint: persist the completed state so a resume of a
+	// finished scan is a no-op read.
+	if cfg.Checkpoint != nil && st.ckptErr == nil {
+		st.ckptErr = st.writeCheckpoint(ds.Domain)
+	}
+
+	ds.Stats.Elapsed = time.Since(start)
+	// Unrecovered subnets are not an error — like the pre-resilience
+	// scanner, losses live in Stats (Timeouts, Errors, FailedSubnets,
+	// Ledger) and the dataset carries everything collected.
+	switch {
+	case st.scanErr != nil:
+		return ds, st.scanErr
+	case ctx.Err() != nil:
+		return ds, ctx.Err()
+	case st.ckptErr != nil:
+		return ds, st.ckptErr
+	}
+	return ds, nil
+}
+
+// runPass sweeps one source of work — the streamed universe on pass 1,
+// the deferred set afterwards — and returns the subnets still pending.
+func (st *scanState) runPass(ctx context.Context, shards []*scanShard, pending []subnetRef, first bool) []subnetRef {
+	cfg := st.cfg
+	ckpt := st.master != nil
+	work := make(chan []subnetRef, 2*cfg.Concurrency)
+	var results chan batchResult
+	var collectorDone chan struct{}
+	if ckpt {
+		results = make(chan batchResult, 2*cfg.Concurrency)
+		collectorDone = make(chan struct{})
+		go st.collect(results, collectorDone)
+	}
+
+	workers := make([]*scanWorker, cfg.Concurrency)
+	var wg sync.WaitGroup
+	wg.Add(cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		w := &scanWorker{st: st, sh: shards[i], budget: -1}
+		if cfg.RetryBudget > 0 {
+			w.budget = cfg.RetryBudget
+		}
+		workers[i] = w
+		go func() {
+			defer wg.Done()
+			for batch := range work {
+				sh := w.sh
+				var done []int64
+				if ckpt {
+					sh = newScanShard()
+					done = make([]int64, 0, len(batch))
+				}
+				for _, ref := range batch {
+					if ctx.Err() != nil {
+						st.fail(ctx.Err())
+						break
+					}
+					if w.processSubnet(ctx, sh, ref) && ckpt {
+						done = append(done, ref.idx)
+					}
+				}
+				if ckpt {
+					results <- batchResult{mini: sh, done: done}
+				}
+			}
+		}()
+	}
+
+	// Feed the pass.
+	batch := make([]subnetRef, 0, workBatchSize)
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
 		}
 		select {
 		case work <- batch:
-			batch = make([]netip.Prefix, 0, workBatchSize)
+			batch = make([]subnetRef, 0, workBatchSize)
 			return true
 		case <-ctx.Done():
 			return false
 		}
 	}
-	for _, p := range cfg.Universe {
-		if !p.Addr().Is4() {
-			continue
-		}
-		iputil.Subnets(p, 24, func(s netip.Prefix) bool {
-			total++
-			batch = append(batch, s)
-			if len(batch) == workBatchSize {
-				return flush()
+	if first {
+		idx := int64(0)
+		for _, p := range cfg.Universe {
+			if !p.Addr().Is4() {
+				continue
 			}
-			return true
-		})
-		if ctx.Err() != nil {
-			break
+			iputil.Subnets(p, 24, func(s netip.Prefix) bool {
+				i := idx
+				idx++
+				if st.resumed.get(i) {
+					return true // resumed: completed in a previous run
+				}
+				batch = append(batch, subnetRef{p: s, idx: i})
+				if len(batch) == workBatchSize {
+					return flush()
+				}
+				return true
+			})
+			if ctx.Err() != nil {
+				break
+			}
+		}
+	} else {
+		for _, ref := range pending {
+			batch = append(batch, ref)
+			if len(batch) == workBatchSize && !flush() {
+				break
+			}
 		}
 	}
 	flush()
 	close(work)
 	wg.Wait()
+	if ckpt {
+		close(results)
+		<-collectorDone
+	}
 
-	for _, sh := range shards {
-		for addr, as := range sh.addrs {
-			ds.Addresses[addr] = as
-		}
-		for clientAS, ops := range sh.serving {
-			st := ds.Serving[clientAS]
-			if st == nil {
-				st = &ServingStats{SubnetsByOperator: make(map[bgp.ASN]int64)}
-				ds.Serving[clientAS] = st
-			}
-			for op, n := range ops {
-				st.SubnetsByOperator[op] += n
-			}
-		}
-		ds.Stats.QueriesSent += sh.queries
-		ds.Stats.SubnetsSkipped += sh.skipped
-		ds.Stats.Timeouts += sh.timeouts
-		ds.Stats.Errors += sh.errors
+	var deferred []subnetRef
+	for _, w := range workers {
+		deferred = append(deferred, w.deferred...)
+		w.deferred = nil
 	}
-	ds.Stats.SubnetsTotal = total
-	ds.Stats.Elapsed = time.Since(start)
-	if scanErr != nil {
-		return ds, scanErr
-	}
-	return ds, ctx.Err()
+	// Deterministic next-pass order regardless of worker interleaving.
+	slices.SortFunc(deferred, func(a, b subnetRef) int { return int(a.idx - b.idx) })
+	return deferred
 }
 
-// exchangeWithRetry sends one ECS query with retries on timeout.
-func exchangeWithRetry(ctx context.Context, cfg ScanConfig, subnet netip.Prefix) (*dnswire.Message, error) {
-	id := uint16(iputil.HashPrefix(subnet))
-	q := dnswire.NewQuery(id, cfg.Domain, cfg.QType).WithECS(subnet)
-	var lastErr error
-	for attempt := 0; attempt <= cfg.Retries; attempt++ {
-		resp, err := cfg.Exchanger.Exchange(ctx, q)
-		if err == nil {
-			return resp, nil
+// collect is the checkpoint collector: the only writer of the master
+// shard and done bitmap, so every flush is a consistent snapshot.
+func (st *scanState) collect(results <-chan batchResult, done chan<- struct{}) {
+	defer close(done)
+	var sinceFlush int64
+	for br := range results {
+		st.master.absorb(br.mini)
+		for _, idx := range br.done {
+			st.done.set(idx)
 		}
-		lastErr = err
-		if !errors.Is(err, dnsserver.ErrTimeout) {
-			break
+		sinceFlush += int64(len(br.done))
+		if sinceFlush >= st.cfg.Checkpoint.Every && st.ckptErr == nil {
+			st.ckptErr = st.writeCheckpoint(dnswire.CanonicalName(st.cfg.Domain))
+			sinceFlush = 0
 		}
 	}
-	return nil, lastErr
 }
 
 // AddressesOf returns the discovered addresses originated by as, sorted.
@@ -492,4 +963,71 @@ func (b *tokenBucket) wait() {
 func (ds *Dataset) String() string {
 	return fmt.Sprintf("dataset{%s: %d addrs, %d client ASes, %d queries}",
 		ds.Domain, len(ds.Addresses), len(ds.Serving), ds.Stats.QueriesSent)
+}
+
+// loadCheckpoint seeds the master state from cfg.Checkpoint.Path if the
+// file exists, validating it belongs to this scan.
+func (st *scanState) loadCheckpoint(domain string, total int64) error {
+	ck, err := LoadCheckpoint(st.cfg.Checkpoint.Path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // nothing to resume: fresh scan
+	}
+	if err != nil {
+		return err
+	}
+	if ck.Domain != domain {
+		return fmt.Errorf("core: checkpoint %s is for domain %s, scan wants %s",
+			st.cfg.Checkpoint.Path, ck.Domain, domain)
+	}
+	if ck.UniverseTotal != total {
+		return fmt.Errorf("core: checkpoint %s covers a %d-subnet universe, scan has %d",
+			st.cfg.Checkpoint.Path, ck.UniverseTotal, total)
+	}
+	st.master.addrs = ck.Addresses
+	st.master.serving = ck.Serving
+	st.master.ledger = ck.Ledger
+	st.master.queries = ck.Counters["queries"]
+	st.master.skipped = ck.Counters["skipped"]
+	st.master.retries = ck.Counters["retries"]
+	st.master.deferrals = ck.Counters["deferrals"]
+	st.master.termErrors = ck.Counters["termerrors"]
+	st.master.tAttempts = ck.Counters["timeoutattempts"]
+	st.master.sfAttempts = ck.Counters["servfailattempts"]
+	st.master.refAttempts = ck.Counters["refusedattempts"]
+	st.master.trAttempts = ck.Counters["truncatedattempts"]
+	st.master.stAttempts = ck.Counters["staleattempts"]
+	for _, r := range ck.DoneRanges {
+		for i := r[0]; i <= r[1]; i++ {
+			st.done.set(i)
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint atomically persists the collector's current state.
+func (st *scanState) writeCheckpoint(domain string) error {
+	m := st.master
+	ck := &Checkpoint{
+		Domain:        domain,
+		UniverseTotal: st.universeTotal,
+		Addresses:     m.addrs,
+		Serving:       m.serving,
+		Ledger:        m.ledger,
+		Counters: map[string]int64{
+			"queries":           m.queries,
+			"skipped":           m.skipped,
+			"retries":           m.retries,
+			"deferrals":         m.deferrals,
+			"termerrors":        m.termErrors,
+			"timeoutattempts":   m.tAttempts,
+			"servfailattempts":  m.sfAttempts,
+			"refusedattempts":   m.refAttempts,
+			"truncatedattempts": m.trAttempts,
+			"staleattempts":     m.stAttempts,
+		},
+	}
+	st.done.ranges(func(lo, hi int64) {
+		ck.DoneRanges = append(ck.DoneRanges, [2]int64{lo, hi})
+	})
+	return ck.WriteFile(st.cfg.Checkpoint.Path)
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/relay-networks/privaterelay/internal/dnswire"
+	"github.com/relay-networks/privaterelay/internal/iputil"
 )
 
 // Exchanger performs one DNS query/response exchange. Implementations:
@@ -131,7 +132,11 @@ func (s *UDPServer) handlePacket(pkt []byte, raddr net.Addr) {
 	_, _ = s.conn.WriteTo(wire, raddr)
 }
 
-// UDPClient queries a UDP DNS server with retry and timeout.
+// UDPClient queries a UDP DNS server with retry and timeout. Retries
+// back off exponentially with deterministic jitter, and every attempt
+// carries a fresh transaction ID so a late datagram answering an earlier
+// attempt can never satisfy a newer one — it is discarded as stale
+// instead of being mistaken for the current answer.
 type UDPClient struct {
 	// ServerAddr is the "host:port" of the server.
 	ServerAddr string
@@ -139,6 +144,25 @@ type UDPClient struct {
 	Timeout time.Duration
 	// Retries is the number of additional attempts (default 1).
 	Retries int
+	// Backoff is the base delay before the first retry, doubling per
+	// attempt up to 8×Backoff with jitter in [1/2, 1) of the delay.
+	// Zero defaults to 100ms; negative disables backoff entirely.
+	Backoff time.Duration
+}
+
+// retryDelay computes the jittered exponential backoff before retry
+// attempt (0-based), deterministic per (transaction ID, attempt).
+func retryDelay(base time.Duration, attempt int, id uint16) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < 8*base; i++ {
+		d *= 2
+	}
+	if d > 8*base {
+		d = 8 * base
+	}
+	h := iputil.Mix(uint64(id)+1, uint64(attempt)^0xD15C0)
+	frac := float64(h>>11) / float64(1<<53)
+	return d/2 + time.Duration(frac*float64(d/2))
 }
 
 // Exchange implements Exchanger over UDP.
@@ -146,6 +170,10 @@ func (c *UDPClient) Exchange(ctx context.Context, query *dnswire.Message) (*dnsw
 	timeout := c.Timeout
 	if timeout == 0 {
 		timeout = 2 * time.Second
+	}
+	backoff := c.Backoff
+	if backoff == 0 {
+		backoff = 100 * time.Millisecond
 	}
 	attempts := c.Retries + 1
 	if attempts < 1 {
@@ -160,8 +188,31 @@ func (c *UDPClient) Exchange(ctx context.Context, query *dnswire.Message) (*dnsw
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		resp, err := c.exchangeOnce(ctx, wire, query.Header.ID, timeout)
+		id := query.Header.ID
+		if a > 0 {
+			if backoff > 0 {
+				t := time.NewTimer(retryDelay(backoff, a-1, query.Header.ID))
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return nil, ctx.Err()
+				}
+			}
+			// Re-encode under a fresh ID derived from the original, so
+			// each attempt is its own transaction.
+			id = uint16(iputil.Mix(uint64(query.Header.ID)+1, uint64(a)))
+			attempt := *query
+			attempt.Header.ID = id
+			if wire, err = attempt.Encode(nil); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.exchangeOnce(ctx, wire, id, timeout)
 		if err == nil {
+			// Restore the caller's transaction ID: which attempt won is a
+			// transport detail.
+			resp.Header.ID = query.Header.ID
 			return resp, nil
 		}
 		lastErr = err

@@ -24,6 +24,7 @@ import (
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
 	"github.com/relay-networks/privaterelay/internal/dnswire"
 	"github.com/relay-networks/privaterelay/internal/egress"
+	"github.com/relay-networks/privaterelay/internal/faults"
 	"github.com/relay-networks/privaterelay/internal/netsim"
 	"github.com/relay-networks/privaterelay/internal/quicsim"
 	"github.com/relay-networks/privaterelay/internal/relay"
@@ -45,6 +46,17 @@ type Env struct {
 	// Atlas-campaign pipelines (0 falls back to each pipeline's default).
 	// Like scans, those pipelines are worker-count-independent.
 	PipelineWorkers int
+	// FaultProfile, when non-nil, routes every DNS exchange the
+	// environment builds — ECS scans, the relay device's resolver and the
+	// Atlas probe transports — through a faults.Injector with this
+	// profile. Scans then run with retries and multiple passes, so the
+	// published numbers stay identical to a fault-free run (the chaos
+	// tests pin this equivalence).
+	FaultProfile *faults.Profile
+	// ConnectRetries shapes tunnel-establishment retries for the
+	// through-relay scans. The zero value uses the library defaults
+	// (3 attempts, 50ms base backoff).
+	ConnectRetries relay.ConnectRetry
 
 	World      *netsim.World
 	List       *egress.List
@@ -82,7 +94,7 @@ func (e *Env) ScanMonth(ctx context.Context, month bgp.Month, domain string) (*c
 	}
 	e.mu.Unlock()
 	srv := dnsserver.NewAuthServer(e.World, month, nil)
-	ds, err := core.Scan(ctx, core.ScanConfig{
+	cfg := core.ScanConfig{
 		Exchanger:    &dnsserver.MemTransport{Handler: srv, Source: netip.MustParseAddr("198.51.100.53")},
 		Domain:       domain,
 		Universe:     e.World.RoutedV4Prefixes(),
@@ -90,7 +102,13 @@ func (e *Env) ScanMonth(ctx context.Context, month bgp.Month, domain string) (*c
 		RespectScope: true,
 		Concurrency:  e.ScanConcurrency,
 		Retries:      1,
-	})
+	}
+	if e.FaultProfile != nil {
+		cfg.Exchanger = faults.NewInjector(cfg.Exchanger, e.FaultProfile, nil, e.World.Table.Origin)
+		cfg.Retries = 4
+		cfg.MaxPasses = 8
+	}
+	ds, err := core.Scan(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -215,8 +233,11 @@ func (e *Env) RelayScan(ctx context.Context, dayRounds, rotationRounds int) (*Re
 	svc.Issuer.DailyLimit = 1 << 20
 
 	auth := dnsserver.NewAuthServer(e.World, netsim.MonthApr, nil)
-	res := resolver.New(netip.MustParseAddr("9.9.9.9"),
-		&dnsserver.MemTransport{Handler: auth, Source: netip.MustParseAddr("9.9.9.9")})
+	var upstream dnsserver.Exchanger = &dnsserver.MemTransport{Handler: auth, Source: netip.MustParseAddr("9.9.9.9")}
+	if e.FaultProfile != nil {
+		upstream = faults.NewInjector(upstream, e.FaultProfile, nil, e.World.Table.Origin)
+	}
+	res := resolver.New(netip.MustParseAddr("9.9.9.9"), upstream)
 	dev := &relay.Device{Client: client, Resolver: res, Service: svc, Account: "scan", Day: "2022-05-11"}
 
 	ws, err := scan.StartWebServer()
@@ -231,7 +252,7 @@ func (e *Env) RelayScan(ctx context.Context, dayRounds, rotationRounds int) (*Re
 	defer es.Close()
 
 	result := &RelayScanResult{}
-	result.Open, err = scan.Run(ctx, scan.Config{Device: dev, Web: ws, Echo: es, Rounds: dayRounds, Interval: 5 * time.Minute})
+	result.Open, err = scan.Run(ctx, scan.Config{Device: dev, Web: ws, Echo: es, Rounds: dayRounds, Interval: 5 * time.Minute, Connect: e.ConnectRetries})
 	if err != nil {
 		return nil, err
 	}
@@ -240,13 +261,13 @@ func (e *Env) RelayScan(ctx context.Context, dayRounds, rotationRounds int) (*Re
 	res.AddLocalZone(dnsserver.MaskDomain, []dnswire.Record{{
 		Name: dnsserver.MaskDomain, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, A: forced,
 	}})
-	result.Fixed, err = scan.Run(ctx, scan.Config{Device: dev, Web: ws, Echo: es, Rounds: dayRounds, Interval: 5 * time.Minute})
+	result.Fixed, err = scan.Run(ctx, scan.Config{Device: dev, Web: ws, Echo: es, Rounds: dayRounds, Interval: 5 * time.Minute, Connect: e.ConnectRetries})
 	if err != nil {
 		return nil, err
 	}
 	res.ClearLocalZone(dnsserver.MaskDomain)
 
-	rot, err := scan.Run(ctx, scan.Config{Device: dev, Web: ws, Echo: es, Rounds: rotationRounds, Interval: 30 * time.Second})
+	rot, err := scan.Run(ctx, scan.Config{Device: dev, Web: ws, Echo: es, Rounds: rotationRounds, Interval: 30 * time.Second, Connect: e.ConnectRetries})
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +278,11 @@ func (e *Env) RelayScan(ctx context.Context, dayRounds, rotationRounds int) (*Re
 	}
 	// Headline rotation numbers describe the dominant operator's pool,
 	// matching the paper's single-location 48 h observation.
-	result.RotationOperator, result.RotationObs = scan.DominantOperator(rot)
+	var haveDominant bool
+	result.RotationOperator, result.RotationObs, haveDominant = scan.DominantOperator(rot)
+	if !haveDominant && len(rot) > 0 {
+		return nil, fmt.Errorf("experiments: rotation scan had no successful rounds")
+	}
 	result.Rotation = scan.Rotation(result.RotationObs, lookup)
 	result.RotationAll = scan.Rotation(rot, lookup)
 	result.OpenChanges = scan.OperatorChanges(result.Open)
@@ -300,6 +325,9 @@ type AtlasResult struct {
 	V6Found         int
 	V6DirectAdded   int
 	Blocking        *atlas.BlockingReport
+	// Completeness accounts the A-validation campaign's outcome buckets
+	// (answered / timed out / errored probes).
+	Completeness atlas.Completeness
 }
 
 // Atlas runs validation (A), enumeration (AAAA) and the blocking study.
@@ -308,15 +336,22 @@ func (e *Env) Atlas(ctx context.Context, probes, clusters int) (*AtlasResult, er
 	if err != nil {
 		return nil, err
 	}
-	pop := atlas.NewPopulation(e.World, netsim.MonthApr, atlas.Config{
+	popCfg := atlas.Config{
 		Seed: e.Seed, N: probes, SubnetClusters: clusters, Phase: 1,
-	})
+	}
+	if e.FaultProfile != nil {
+		popCfg.WrapTransport = func(ex dnsserver.Exchanger) dnsserver.Exchanger {
+			return faults.NewInjector(ex, e.FaultProfile, nil, e.World.Table.Origin)
+		}
+	}
+	pop := atlas.NewPopulation(e.World, netsim.MonthApr, popCfg)
 	out := &AtlasResult{Probes: len(pop.Probes), PublicResolvers: atlas.IdentifyResolvers(pop)}
 
 	aRes, err := atlas.Campaign{Domain: dnsserver.MaskDomain, Type: dnswire.TypeA, Workers: e.PipelineWorkers}.Run(ctx, pop)
 	if err != nil {
 		return nil, err
 	}
+	out.Completeness = atlas.Summarize(aRes)
 	for _, a := range atlas.DistinctAddrs(aRes) {
 		if a == resolver.HijackAddr {
 			continue

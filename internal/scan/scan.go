@@ -12,6 +12,7 @@ package scan
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -148,9 +149,28 @@ type Observation struct {
 	SafariEgress netip.Addr
 	// CurlEgress is the address the echo service returned.
 	CurlEgress netip.Addr
-	// Failed marks rounds where the tunnel could not be established.
-	Failed bool
+	// Failed marks rounds where the tunnel could not be established even
+	// after retries; ConnectErr carries the final establishment error.
+	Failed     bool
+	ConnectErr error
+	// SafariErr and CurlErr record per-request failures of an otherwise
+	// established round — a failed stream open, an unlogged request, an
+	// unparsable echo body. A zero egress address with a nil error can no
+	// longer be mistaken for "never attempted".
+	SafariErr error
+	CurlErr   error
 }
+
+// PartialFailure reports whether the round established a tunnel but lost
+// at least one of its two requests.
+func (o *Observation) PartialFailure() bool {
+	return !o.Failed && (o.SafariErr != nil || o.CurlErr != nil)
+}
+
+// ErrAllRoundsFailed distinguishes a scan in which no round established
+// a tunnel — the relay (or its resolution path) was down for the whole
+// run — from partial degradation, which is reported per Observation.
+var ErrAllRoundsFailed = errors.New("scan: every round failed to establish a tunnel")
 
 // Config describes a through-relay scan.
 type Config struct {
@@ -163,20 +183,38 @@ type Config struct {
 	// operator scan, 30 s for the rotation scan). Wall-clock execution
 	// runs as fast as the tunnels allow.
 	Interval time.Duration
+	// Connect shapes per-round tunnel-establishment retries (zero value:
+	// 3 attempts, 50ms base backoff on the wall clock).
+	Connect relay.ConnectRetry
+	// Connector overrides the dialer (default: Device). Tests inject
+	// flaky connectors here.
+	Connector relay.Connector
 }
 
 // Run executes the scan: per round, one fresh tunnel carrying the two
-// parallel requests.
+// parallel requests. A round whose tunnel cannot be established after
+// retries is recorded as Failed and the scan moves on; Run returns
+// ErrAllRoundsFailed only when every round was lost that way.
 func Run(ctx context.Context, cfg Config) ([]Observation, error) {
+	conn := cfg.Connector
+	if conn == nil {
+		conn = cfg.Device
+	}
 	out := make([]Observation, 0, cfg.Rounds)
+	failedRounds := 0
 	for round := 0; round < cfg.Rounds; round++ {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
 		obs := Observation{Round: round, At: time.Duration(round) * cfg.Interval}
-		tun, err := cfg.Device.Connect(ctx)
+		tun, err := relay.ConnectWithRetry(ctx, conn, cfg.Connect)
 		if err != nil {
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
 			obs.Failed = true
+			obs.ConnectErr = err
+			failedRounds++
 			out = append(out, obs)
 			continue
 		}
@@ -184,7 +222,9 @@ func Run(ctx context.Context, cfg Config) ([]Observation, error) {
 
 		before := len(cfg.Web.Log())
 		// Safari-like request: fetch from the logging web server.
-		if s, _, err := tun.Open(cfg.Web.Addr()); err == nil {
+		if s, _, err := tun.Open(cfg.Web.Addr()); err != nil {
+			obs.SafariErr = fmt.Errorf("scan: safari request: %w", err)
+		} else {
 			fmt.Fprintf(s, "GET / HTTP/1.1\n")
 			_, _ = io.ReadAll(s)
 			s.Close()
@@ -192,38 +232,59 @@ func Run(ctx context.Context, cfg Config) ([]Observation, error) {
 		logNow := cfg.Web.Log()
 		if len(logNow) > before {
 			obs.SafariEgress = logNow[len(logNow)-1]
+		} else if obs.SafariErr == nil {
+			obs.SafariErr = errors.New("scan: safari request: server logged no egress address")
 		}
 
 		// curl-like request: fetch the echo service and parse the body.
-		if s, _, err := tun.Open(cfg.Echo.Addr()); err == nil {
+		if s, _, err := tun.Open(cfg.Echo.Addr()); err != nil {
+			obs.CurlErr = fmt.Errorf("scan: curl request: %w", err)
+		} else {
 			fmt.Fprintf(s, "GET /plain HTTP/1.1\n")
 			body, _ := io.ReadAll(s)
 			s.Close()
-			if a, err := netip.ParseAddr(strings.TrimSpace(string(body))); err == nil {
+			a, err := netip.ParseAddr(strings.TrimSpace(string(body)))
+			if err != nil {
+				obs.CurlErr = fmt.Errorf("scan: curl request: bad echo body %q: %w",
+					strings.TrimSpace(string(body)), err)
+			} else {
 				obs.CurlEgress = a
 			}
 		}
 		tun.Close()
 		out = append(out, obs)
 	}
+	if cfg.Rounds > 0 && failedRounds == cfg.Rounds {
+		return out, fmt.Errorf("%w (%d rounds, last: %v)",
+			ErrAllRoundsFailed, failedRounds, out[len(out)-1].ConnectErr)
+	}
 	return out, nil
 }
 
-// DominantOperator returns the operator serving the most rounds and the
-// observations filtered to it. The paper's 48-hour rotation numbers (six
-// addresses, four subnets) describe one operator's location pool; rounds
-// on other operators during switch bursts are reported separately.
-func DominantOperator(obs []Observation) (bgp.ASN, []Observation) {
+// DominantOperator returns the operator serving the most rounds, the
+// observations filtered to it, and ok=false when no round succeeded (the
+// zero ASN is a legal value, so absence must be explicit — previously an
+// empty observation set read a phantom zero entry and returned ASN 0 as
+// if it were a measurement). Ties break toward the smaller ASN so the
+// result is independent of map iteration order. The paper's 48-hour
+// rotation numbers (six addresses, four subnets) describe one operator's
+// location pool; rounds on other operators during switch bursts are
+// reported separately.
+func DominantOperator(obs []Observation) (bgp.ASN, []Observation, bool) {
 	counts := map[bgp.ASN]int{}
 	for _, o := range obs {
 		if !o.Failed {
 			counts[o.Operator]++
 		}
 	}
+	if len(counts) == 0 {
+		return 0, nil, false
+	}
 	var best bgp.ASN
+	bestN := -1
 	for as, n := range counts {
-		if n > counts[best] {
-			best = as
+		if n > bestN || (n == bestN && as < best) {
+			best, bestN = as, n
 		}
 	}
 	var filtered []Observation
@@ -232,7 +293,7 @@ func DominantOperator(obs []Observation) (bgp.ASN, []Observation) {
 			filtered = append(filtered, o)
 		}
 	}
-	return best, filtered
+	return best, filtered, true
 }
 
 // OperatorChange is one Figure 3 event: the egress operator differing
@@ -275,6 +336,11 @@ type RotationStats struct {
 	// ParallelDiffer counts rounds where the Safari and curl requests of
 	// the same round saw different egress addresses.
 	ParallelDiffer int
+	// FailedRounds counts rounds with no tunnel; SafariFailures and
+	// CurlFailures count per-request losses inside established rounds.
+	FailedRounds   int
+	SafariFailures int
+	CurlFailures   int
 }
 
 // Rotation computes rotation statistics. subnetOf attributes an egress
@@ -301,7 +367,14 @@ func Rotation(obs []Observation, subnetOf func(netip.Addr) (netip.Prefix, bool))
 	changes, comparisons := 0, 0
 	for _, o := range obs {
 		if o.Failed {
+			st.FailedRounds++
 			continue
+		}
+		if o.SafariErr != nil {
+			st.SafariFailures++
+		}
+		if o.CurlErr != nil {
+			st.CurlFailures++
 		}
 		record(o.SafariEgress)
 		record(o.CurlEgress)

@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json chaos
+.PHONY: check vet build test race alloc bench bench-json chaos
 
-check: vet build race bench
+check: vet build race alloc bench
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +15,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Allocation-regression tests must run WITHOUT the race detector: the
+# race runtime's allocation instrumentation makes testing.AllocsPerRun
+# report noise, so these files carry a `//go:build !race` tag and get
+# their own non-race invocation (CI runs this in the chaos job).
+alloc:
+	$(GO) test -run 'ZeroAlloc|AllocBudget' ./internal/dnsserver/ ./internal/core/
 
 # Chaos suite under the race detector: scans through the fault plane
 # converge to the fault-free dataset, killed scans resume bit-identically,
@@ -30,7 +37,14 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkScanThroughput -benchtime 1x .
 
 # Machine-readable numbers for the sharded pipelines (attribution,
-# campaigns, Table 3, CSV parse): ns/op and items/sec per benchmark.
+# campaigns, Table 3, CSV parse) and the zero-allocation exchange path.
+# BENCH_exchange.json carries B/op and allocs/op (-benchmem): the wire
+# codec, the authoritative handler, both transports, and the scan
+# throughput bench that multiplies them.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkAttribute$$|BenchmarkAtlasCampaign$$|BenchmarkTable3$$|BenchmarkParseCSV$$' -benchtime 10x . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 	@cat BENCH_pipeline.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkEncodeECSQuery$$|BenchmarkEncoderReuse$$|BenchmarkDecodeResponse$$|BenchmarkDecodeInto$$' -benchtime 2000x -benchmem ./internal/dnswire/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkAuthServerHandle$$|BenchmarkExchangeMemTransport$$|BenchmarkExchangeUDP$$' -benchtime 2000x -benchmem ./internal/dnsserver/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkScanThroughput$$' -benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchjson > BENCH_exchange.json
+	@cat BENCH_exchange.json

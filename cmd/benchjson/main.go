@@ -2,7 +2,9 @@
 // JSON object keyed by benchmark name, for machine-readable tracking of
 // the pipeline benchmarks (see `make bench-json`). Each entry carries
 // ns/op plus the benchmark's items/sec custom metric when it reports one
-// (entries/sec, probes/sec, lines/sec, subnets/sec).
+// (entries/sec, probes/sec, lines/sec, subnets/sec), and — under
+// -benchmem — B/op and allocs/op, the numbers the allocation-regression
+// tests pin (see BENCH_exchange.json).
 package main
 
 import (
@@ -14,11 +16,15 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's parsed measurements.
+// Result is one benchmark's parsed measurements. BytesPerOp and
+// AllocsPerOp are pointers so a legitimate 0 (the exchange path's whole
+// point) still serializes instead of vanishing under omitempty.
 type Result struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	ItemsPerSec float64 `json:"items_per_sec,omitempty"`
-	ItemsUnit   string  `json:"items_unit,omitempty"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	ItemsPerSec float64  `json:"items_per_sec,omitempty"`
+	ItemsUnit   string   `json:"items_unit,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 func main() {
@@ -52,6 +58,12 @@ func main() {
 			case strings.HasSuffix(unit, "/sec") && !strings.HasPrefix(unit, "MB"):
 				res.ItemsPerSec = val
 				res.ItemsUnit = strings.TrimSuffix(unit, "/sec")
+			case unit == "B/op":
+				v := val
+				res.BytesPerOp = &v
+			case unit == "allocs/op":
+				v := val
+				res.AllocsPerOp = &v
 			}
 		}
 		if !seen {

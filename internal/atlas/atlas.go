@@ -333,8 +333,9 @@ func freshAddrs(w *netsim.World, month bgp.Month, proto netsim.Proto, phase int)
 }
 
 // Handle implements dnsserver.Handler. It is safe for concurrent use: the
-// fresh lists are read-only and the inner server allocates a response per
-// query.
+// fresh lists are read-only and answer slices are cloned before the swap
+// below — the inner server hands out answer sections shared with its
+// memoized record cache, which must never be written through.
 func (p *phaseHandler) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
 	resp := p.inner.Handle(q, from)
 	if p.phase == 0 || resp == nil || len(resp.Answers) == 0 {
@@ -351,6 +352,7 @@ func (p *phaseHandler) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Mess
 		// Swap the first answer for a fresh address on a sliver of
 		// queries, reproducing the single extra address.
 		if iputil.HashAddr(from)%97 == 0 {
+			resp.Answers = slices.Clone(resp.Answers)
 			resp.Answers[0].A = fresh[iputil.HashAddr(from)%uint64(len(fresh))]
 		}
 	}

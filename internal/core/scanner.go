@@ -415,6 +415,12 @@ type scanWorker struct {
 	sh       *scanShard // persistent on the hot path; per-batch mini otherwise
 	budget   int64      // remaining retry budget this pass (<0 = unlimited)
 	deferred []subnetRef
+
+	// query is the worker's reusable query message: built once, then only
+	// the transaction ID and ECS prefix are re-stamped per subnet. Safe
+	// because Exchangers never retain the query past the call and the
+	// question section is immutable across subnets.
+	query *dnswire.Message
 }
 
 // ledgerFail records one failed attempt for the subnet.
@@ -476,9 +482,15 @@ func (w *scanWorker) processSubnet(ctx context.Context, sh *scanShard, ref subne
 		st.limiter.wait()
 
 		// A fresh transaction ID per attempt: a late response to attempt
-		// N cannot satisfy attempt N+1.
+		// N cannot satisfy attempt N+1. The query message itself is the
+		// worker's reusable one — only the ID and ECS prefix change.
 		id := uint16(iputil.Mix(key, uint64(ref.attempts)))
-		q := dnswire.NewQuery(id, cfg.Domain, cfg.QType).WithECS(ref.p)
+		if w.query == nil {
+			w.query = dnswire.NewQuery(id, cfg.Domain, cfg.QType)
+		}
+		q := w.query
+		q.Header.ID = id
+		q.SetECS(ref.p)
 		resp, err := cfg.Exchanger.Exchange(ctx, q)
 		sh.queries++
 		if ref.attempts > 0 {
@@ -491,6 +503,9 @@ func (w *scanWorker) processSubnet(ctx context.Context, sh *scanShard, ref subne
 		case outcomeOK:
 			st.breaker.success(probe)
 			sh.record(cfg, st.attr, ref.p, resp, &st.skip, &st.global)
+			// record copies everything it keeps; the pooled response can
+			// go back for the next exchange.
+			dnswire.ReleaseMessage(resp)
 			return true
 		case outcomeError:
 			if ctx.Err() != nil {
@@ -513,6 +528,9 @@ func (w *scanWorker) processSubnet(ctx context.Context, sh *scanShard, ref subne
 				st.breaker.serverFailure(true)
 			}
 		}
+		// Failure responses (ServFail, Refused, truncated, stale) carry
+		// nothing worth keeping; timeouts have no response at all.
+		dnswire.ReleaseMessage(resp)
 		ledgerFail(sh, ref.p, out)
 
 		if inPass >= cfg.Retries || !w.spendBudget() || ctx.Err() != nil {

@@ -1,6 +1,7 @@
 package dnsserver
 
 import (
+	"net/netip"
 	"sync"
 	"time"
 )
@@ -8,12 +9,14 @@ import (
 // RateLimiter is a per-source token bucket. The paper's authoritative
 // servers rate-limit aggressively enough that a full ECS scan stretches to
 // 40 hours; the simulator reproduces the behaviour (queries over the limit
-// are silently dropped, surfacing as client timeouts).
+// are silently dropped, surfacing as client timeouts). Buckets are keyed
+// on the source netip.Addr directly — stringifying the address would cost
+// an allocation on every query the server handles.
 type RateLimiter struct {
 	mu      sync.Mutex
 	rate    float64 // tokens per second
 	burst   float64
-	buckets map[string]*bucket
+	buckets map[netip.Addr]*bucket
 	now     func() time.Time
 }
 
@@ -31,13 +34,13 @@ func NewRateLimiter(rate, burst float64, clock func() time.Time) *RateLimiter {
 	return &RateLimiter{
 		rate:    rate,
 		burst:   burst,
-		buckets: make(map[string]*bucket),
+		buckets: make(map[netip.Addr]*bucket),
 		now:     clock,
 	}
 }
 
 // Allow reports whether a query from key may be served now.
-func (rl *RateLimiter) Allow(key string) bool {
+func (rl *RateLimiter) Allow(key netip.Addr) bool {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	now := rl.now()

@@ -11,6 +11,7 @@ package dnsserver
 
 import (
 	"net/netip"
+	"sync"
 	"sync/atomic"
 
 	"github.com/relay-networks/privaterelay/internal/bgp"
@@ -41,6 +42,12 @@ type Stats struct {
 }
 
 // AuthServer is the authoritative name server for the Private Relay zone.
+//
+// Responses are assembled in pooled dnswire.Message values: the caller
+// that receives a response owns it and may hand it back with
+// dnswire.ReleaseMessage once consumed (see that function's ownership
+// rules). Answer record sets are memoized per answer key, so the steady
+// state serves entirely from shared read-only slices without allocating.
 type AuthServer struct {
 	world *netsim.World
 	// month pins which scan month's fleet the server answers from.
@@ -49,6 +56,72 @@ type AuthServer struct {
 	limiter *RateLimiter
 	// Stats exposes counters for scan instrumentation.
 	Stats Stats
+	// cache memoizes the per-answer-key []Record sets and ECS scopes.
+	cache recordCache
+}
+
+// recordCacheShards / recordCacheShardCap mirror netsim's answer cache:
+// sharded RWMutex maps (sync.Map would box the struct key, putting an
+// allocation back on every lookup), cleared wholesale when a shard
+// outgrows its cap — entries are deterministic, so eviction only costs a
+// rebuild.
+const (
+	recordCacheShards   = 64
+	recordCacheShardCap = 1 << 13
+)
+
+// recordKey identifies one memoized response record set. It mirrors
+// netsim's answerCacheKey: serving is included because the March
+// fallback ramp can split a covering-route key across operators, and
+// known separates non-client subnets from a real key hashing to 0.
+type recordKey struct {
+	key     uint64
+	known   bool
+	serving bgp.ASN
+	month   bgp.Month
+	proto   netsim.Proto
+	qtype   dnswire.Type
+}
+
+// answerEntry is one memoized response: the shared read-only record
+// slice and the ECS scope the server attaches for the answer's class.
+type answerEntry struct {
+	records []dnswire.Record
+	scope   uint8
+}
+
+type recordCacheShard struct {
+	mu sync.RWMutex
+	m  map[recordKey]*answerEntry
+}
+
+type recordCache struct {
+	shards [recordCacheShards]recordCacheShard
+}
+
+func (c *recordCache) get(k recordKey) (*answerEntry, bool) {
+	sh := &c.shards[k.key%recordCacheShards]
+	sh.mu.RLock()
+	e, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return e, ok
+}
+
+// put stores e for k and returns the canonical entry (first writer wins).
+func (c *recordCache) put(k recordKey, e *answerEntry) *answerEntry {
+	sh := &c.shards[k.key%recordCacheShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if have, ok := sh.m[k]; ok {
+		return have
+	}
+	if sh.m == nil {
+		sh.m = make(map[recordKey]*answerEntry)
+	} else if len(sh.m) >= recordCacheShardCap {
+		clear(sh.m)
+	}
+	sh.m[k] = e
+	return e
 }
 
 // NewAuthServer builds the authoritative server backed by a world,
@@ -64,7 +137,7 @@ func (s *AuthServer) SetMonth(m bgp.Month) { s.month = m }
 // Handle implements Handler.
 func (s *AuthServer) Handle(query *dnswire.Message, from netip.Addr) *dnswire.Message {
 	s.Stats.Queries.Add(1)
-	if s.limiter != nil && !s.limiter.Allow(from.String()) {
+	if s.limiter != nil && !s.limiter.Allow(from) {
 		s.Stats.RateLimited.Add(1)
 		return nil // dropped: client times out
 	}
@@ -94,45 +167,71 @@ func (s *AuthServer) Handle(query *dnswire.Message, from netip.Addr) *dnswire.Me
 		return s.answerAAAA(query, from, proto)
 	default:
 		// Authoritative for the name but no data of this type.
-		return s.respond(query, nil, nil)
+		m := s.respond(query, nil)
+		m.Edns = nil
+		return m
 	}
+}
+
+// zoneName returns the canonical owner name records are served under.
+// Cached records carry the canonical name rather than echoing the query's
+// spelling, so one memoized slice serves every case variant.
+func zoneName(proto netsim.Proto) string {
+	if proto == netsim.ProtoFallback {
+		return MaskH2Domain
+	}
+	return MaskDomain
 }
 
 // answerA serves the ECS-aware A response: record selection and scope come
 // from the world's serving assignment for the client subnet.
 func (s *AuthServer) answerA(query *dnswire.Message, from netip.Addr, proto netsim.Proto) *dnswire.Message {
 	subnet, hadECS := clientSubnet(query, from)
-	var answers []dnswire.Record
-	var edns *dnswire.EDNS
+	if !subnet.IsValid() {
+		m := s.respond(query, nil)
+		m.Edns = nil
+		return m
+	}
+	month := s.month
+	serving, _ := s.world.ServingAS(subnet, month, proto)
+	key, known := s.world.AnswerKey(subnet)
+	rk := recordKey{key, known, serving, month, proto, dnswire.TypeA}
+	e, ok := s.cache.get(rk)
+	if !ok {
+		e = s.buildAnswerA(rk, subnet, proto)
+	}
+	m := s.respond(query, e.records)
+	if hadECS {
+		// Never claim a scope wider than what was asked about... the
+		// RFC permits it, and the skip optimization depends on it, so
+		// the server reports the true validity prefix even when it is
+		// shorter than the /24 source.
+		ecsEcho(m, uint8(subnet.Bits()), e.scope, subnet.Addr())
+	} else {
+		m.Edns = nil
+	}
+	return m
+}
 
-	if subnet.IsValid() {
-		addrs := s.world.IngressAnswer(subnet, s.month, proto)
-		name := query.Questions[0].Name
+// buildAnswerA materializes and memoizes the record set for one answer
+// class on a cache miss.
+func (s *AuthServer) buildAnswerA(rk recordKey, subnet netip.Prefix, proto netsim.Proto) *answerEntry {
+	addrs := s.world.IngressAnswer(subnet, rk.month, proto)
+	var records []dnswire.Record
+	if len(addrs) > 0 {
+		name := zoneName(proto)
+		records = make([]dnswire.Record, 0, len(addrs))
 		for _, a := range addrs {
-			answers = append(answers, dnswire.Record{
+			records = append(records, dnswire.Record{
 				Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN, TTL: 60, A: a,
 			})
 		}
-		if hadECS {
-			scope, ok := s.world.AnswerScope(subnet)
-			if !ok {
-				scope = 24
-			}
-			// Never claim a scope wider than what was asked about... the
-			// RFC permits it, and the skip optimization depends on it, so
-			// the server reports the true validity prefix even when it is
-			// shorter than the /24 source.
-			edns = &dnswire.EDNS{
-				UDPSize: 1232,
-				ClientSubnet: &dnswire.ClientSubnet{
-					SourcePrefixLen: uint8(subnet.Bits()),
-					ScopePrefixLen:  scope,
-					Addr:            subnet.Addr(),
-				},
-			}
-		}
 	}
-	return s.respond(query, answers, edns)
+	scope, ok := s.world.AnswerScope(subnet)
+	if !ok {
+		scope = 24
+	}
+	return s.cache.put(rk, &answerEntry{records: records, scope: scope})
 }
 
 // answerAAAA serves AAAA queries. Per the paper (§3), the server reports
@@ -140,27 +239,31 @@ func (s *AuthServer) answerA(query *dnswire.Message, from netip.Addr, proto nets
 // not the client subnet, so ECS enumeration cannot work for AAAA.
 func (s *AuthServer) answerAAAA(query *dnswire.Message, from netip.Addr, proto netsim.Proto) *dnswire.Message {
 	key := iputil.HashAddr(from)
-	addrs := s.world.IngressAnswerV6(key, s.month, proto)
-	name := query.Questions[0].Name
-	var answers []dnswire.Record
-	for _, a := range addrs {
-		answers = append(answers, dnswire.Record{
-			Name: name, Type: dnswire.TypeAAAA, Class: dnswire.ClassIN, TTL: 60, AAAA: a,
-		})
+	rk := recordKey{key, true, 0, s.month, proto, dnswire.TypeAAAA}
+	e, ok := s.cache.get(rk)
+	if !ok {
+		addrs := s.world.IngressAnswerV6(key, rk.month, proto)
+		var records []dnswire.Record
+		if len(addrs) > 0 {
+			name := zoneName(proto)
+			records = make([]dnswire.Record, 0, len(addrs))
+			for _, a := range addrs {
+				records = append(records, dnswire.Record{
+					Name: name, Type: dnswire.TypeAAAA, Class: dnswire.ClassIN, TTL: 60, AAAA: a,
+				})
+			}
+		}
+		e = s.cache.put(rk, &answerEntry{records: records})
 	}
-	var edns *dnswire.EDNS
+	m := s.respond(query, e.records)
 	if query.Edns != nil && query.Edns.ClientSubnet != nil {
 		cs := query.Edns.ClientSubnet
-		edns = &dnswire.EDNS{
-			UDPSize: 1232,
-			ClientSubnet: &dnswire.ClientSubnet{
-				SourcePrefixLen: cs.SourcePrefixLen,
-				ScopePrefixLen:  0, // valid for the entire address space
-				Addr:            cs.Addr,
-			},
-		}
+		// Scope zero: the answer is valid for the entire address space.
+		ecsEcho(m, cs.SourcePrefixLen, 0, cs.Addr)
+	} else {
+		m.Edns = nil
 	}
-	return s.respond(query, answers, edns)
+	return m
 }
 
 // whoami answers with the requester's address as an A/AAAA record, like
@@ -180,37 +283,58 @@ func (s *AuthServer) whoami(query *dnswire.Message, from netip.Addr) *dnswire.Me
 			Name: q.Name, Type: dnswire.TypeAAAA, Class: dnswire.ClassIN, TTL: 0, AAAA: from,
 		})
 	}
-	return s.respond(query, answers, nil)
+	m := s.respond(query, answers)
+	m.Edns = nil
+	return m
 }
 
-// respond builds a NOERROR authoritative response.
-func (s *AuthServer) respond(query *dnswire.Message, answers []dnswire.Record, edns *dnswire.EDNS) *dnswire.Message {
+// respond builds a NOERROR authoritative response in a pooled message.
+// The returned message's Edns field still holds pool scratch: every
+// caller must either fill it (ecsEcho) or set it to nil before the
+// response leaves the server.
+func (s *AuthServer) respond(query *dnswire.Message, answers []dnswire.Record) *dnswire.Message {
 	s.Stats.Answered.Add(1)
-	return &dnswire.Message{
-		Header: dnswire.Header{
-			ID:               query.Header.ID,
-			Response:         true,
-			Authoritative:    true,
-			RecursionDesired: query.Header.RecursionDesired,
-			RCode:            dnswire.RCodeNoError,
-		},
-		Questions: query.Questions,
-		Answers:   answers,
-		Edns:      edns,
+	m := dnswire.AcquireMessage()
+	m.Header = dnswire.Header{
+		ID:               query.Header.ID,
+		Response:         true,
+		Authoritative:    true,
+		RecursionDesired: query.Header.RecursionDesired,
+		RCode:            dnswire.RCodeNoError,
 	}
+	m.Questions = query.Questions
+	m.Answers = answers
+	return m
+}
+
+// ecsEcho writes the response-side ECS option into m's pooled EDNS
+// scratch, allocating only on a message's first use.
+func ecsEcho(m *dnswire.Message, source, scope uint8, addr netip.Addr) {
+	e := m.Edns
+	if e == nil {
+		e = new(dnswire.EDNS)
+	}
+	cs := e.ClientSubnet
+	if cs == nil {
+		cs = new(dnswire.ClientSubnet)
+	}
+	*e = dnswire.EDNS{UDPSize: 1232, ClientSubnet: cs}
+	*cs = dnswire.ClientSubnet{SourcePrefixLen: source, ScopePrefixLen: scope, Addr: addr}
+	m.Edns = e
 }
 
 // failure builds an authoritative error response.
 func (s *AuthServer) failure(query *dnswire.Message, rc dnswire.RCode) *dnswire.Message {
-	return &dnswire.Message{
-		Header: dnswire.Header{
-			ID:            query.Header.ID,
-			Response:      true,
-			Authoritative: true,
-			RCode:         rc,
-		},
-		Questions: query.Questions,
+	m := dnswire.AcquireMessage()
+	m.Header = dnswire.Header{
+		ID:            query.Header.ID,
+		Response:      true,
+		Authoritative: true,
+		RCode:         rc,
 	}
+	m.Questions = query.Questions
+	m.Edns = nil
+	return m
 }
 
 // clientSubnet extracts the effective client subnet for answer selection:

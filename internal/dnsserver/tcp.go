@@ -107,7 +107,10 @@ func (s *TCPServer) serve() {
 				if resp == nil {
 					return // dropped: close, client times out
 				}
-				if err := WriteTCPMessage(conn, resp); err != nil {
+				err = WriteTCPMessage(conn, resp)
+				// The wire bytes are a copy: the response is consumed.
+				dnswire.ReleaseMessage(resp)
+				if err != nil {
 					return
 				}
 			}
@@ -171,6 +174,8 @@ func (c *TruncatingUDPClient) Exchange(ctx context.Context, query *dnswire.Messa
 	if !resp.Header.Truncated {
 		return resp, nil
 	}
+	// The truncated UDP response is superseded by the TCP answer.
+	dnswire.ReleaseMessage(resp)
 	c.mu.Lock()
 	c.retried++
 	c.mu.Unlock()

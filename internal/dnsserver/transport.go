@@ -2,10 +2,12 @@ package dnsserver
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,12 +58,32 @@ func (m *MemTransport) Exchange(ctx context.Context, query *dnswire.Message) (*d
 }
 
 // UDPServer serves a Handler over a UDP socket using the DNS wire format.
+// Packets are read into pooled buffers and dispatched to a small worker
+// pool (instead of a goroutine per packet); each worker reuses one decode
+// message, one encoder and one wire buffer across packets. The handler
+// must not retain the query message past its return — workers reuse it.
 type UDPServer struct {
 	handler Handler
 	conn    net.PacketConn
 	wg      sync.WaitGroup
 	closed  chan struct{}
+	work    chan udpPacket
 }
+
+// udpPacket is one received datagram handed from the read loop to a
+// worker; buf returns to pktPool once the worker is done with it.
+type udpPacket struct {
+	buf   *[]byte
+	n     int
+	raddr net.Addr
+}
+
+// pktPool recycles receive buffers; dnswire never retains references
+// into the input buffer, so a buffer is free again right after decode.
+var pktPool = sync.Pool{New: func() any {
+	b := make([]byte, 4096)
+	return &b
+}}
 
 // ListenUDP starts a UDP server on addr (e.g. "127.0.0.1:0") and begins
 // serving. Close must be called to release the socket.
@@ -70,16 +92,28 @@ func ListenUDP(addr string, handler Handler) (*UDPServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dnsserver: listen: %w", err)
 	}
-	s := &UDPServer{handler: handler, conn: conn, closed: make(chan struct{})}
-	s.wg.Add(1)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	s := &UDPServer{
+		handler: handler,
+		conn:    conn,
+		closed:  make(chan struct{}),
+		work:    make(chan udpPacket, 4*workers),
+	}
+	s.wg.Add(1 + workers)
 	go s.serve()
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
 	return s, nil
 }
 
 // Addr returns the server's bound address.
 func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Close stops the server and waits for the serve loop to exit.
+// Close stops the server and waits for the read loop and workers to exit.
 func (s *UDPServer) Close() error {
 	close(s.closed)
 	err := s.conn.Close()
@@ -89,10 +123,12 @@ func (s *UDPServer) Close() error {
 
 func (s *UDPServer) serve() {
 	defer s.wg.Done()
-	buf := make([]byte, 4096)
+	defer close(s.work) // workers drain what's queued, then exit
 	for {
-		n, raddr, err := s.conn.ReadFrom(buf)
+		bp := pktPool.Get().(*[]byte)
+		n, raddr, err := s.conn.ReadFrom(*bp)
 		if err != nil {
+			pktPool.Put(bp)
 			select {
 			case <-s.closed:
 				return
@@ -100,36 +136,64 @@ func (s *UDPServer) serve() {
 			}
 			continue // transient read error: keep serving
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		go s.handlePacket(pkt, raddr)
+		s.work <- udpPacket{buf: bp, n: n, raddr: raddr}
 	}
 }
 
-func (s *UDPServer) handlePacket(pkt []byte, raddr net.Addr) {
-	query, err := dnswire.Decode(pkt)
-	if err != nil {
+// udpWorker is one worker's reusable scratch: decode target, truncation
+// shell, encoder state and wire buffer.
+type udpWorker struct {
+	query dnswire.Message
+	trunc dnswire.Message
+	enc   dnswire.Encoder
+	wire  []byte
+}
+
+func (s *UDPServer) worker() {
+	defer s.wg.Done()
+	var w udpWorker
+	for pkt := range s.work {
+		s.handlePacket(&w, pkt)
+		pktPool.Put(pkt.buf)
+	}
+}
+
+func (s *UDPServer) handlePacket(w *udpWorker, pkt udpPacket) {
+	if err := dnswire.DecodeInto((*pkt.buf)[:pkt.n], &w.query); err != nil {
 		return // malformed: drop, as real servers do for garbage
 	}
 	from := netip.Addr{}
-	if ua, ok := raddr.(*net.UDPAddr); ok {
+	if ua, ok := pkt.raddr.(*net.UDPAddr); ok {
 		from = ua.AddrPort().Addr()
 	}
-	resp := s.handler.Handle(query, from)
+	resp := s.handler.Handle(&w.query, from)
 	if resp == nil {
 		return
 	}
 	// Honor the requester's advertised UDP buffer: oversize responses are
-	// truncated with TC set, prompting the client's TCP retry.
+	// truncated with TC set, prompting the client's TCP retry (RFC 2181
+	// §9 semantics — the answer sections are dropped entirely).
 	bufSize := 512
-	if query.Edns != nil && query.Edns.UDPSize > 512 {
-		bufSize = int(query.Edns.UDPSize)
+	if w.query.Edns != nil && w.query.Edns.UDPSize > 512 {
+		bufSize = int(w.query.Edns.UDPSize)
 	}
-	_, wire, err := TruncateForUDP(resp, bufSize)
+	wire, err := w.enc.Encode(resp, w.wire[:0])
+	if err == nil && len(wire) > bufSize {
+		w.trunc = dnswire.Message{
+			Header:    resp.Header,
+			Questions: resp.Questions,
+			Edns:      resp.Edns,
+		}
+		w.trunc.Header.Truncated = true
+		wire, err = w.enc.Encode(&w.trunc, w.wire[:0])
+	}
+	// The wire bytes are an independent copy: the response is consumed.
+	dnswire.ReleaseMessage(resp)
 	if err != nil {
 		return
 	}
-	_, _ = s.conn.WriteTo(wire, raddr)
+	w.wire = wire[:0]
+	_, _ = s.conn.WriteTo(wire, pkt.raddr)
 }
 
 // UDPClient queries a UDP DNS server with retry and timeout. Retries
@@ -165,7 +229,13 @@ func retryDelay(base time.Duration, attempt int, id uint16) time.Duration {
 	return d/2 + time.Duration(frac*float64(d/2))
 }
 
-// Exchange implements Exchanger over UDP.
+// Exchange implements Exchanger over UDP. The socket is dialed once and
+// reused across every retry attempt — only the read/write deadline is
+// reset per attempt. Retrying under a fresh transaction ID only needs the
+// wire ID bytes re-stamped (the DNS header puts the ID at offset 0), so
+// the query is encoded exactly once regardless of the attempt count. The
+// returned response is pooled: callers pass ownership onward or release
+// it via dnswire.ReleaseMessage when done.
 func (c *UDPClient) Exchange(ctx context.Context, query *dnswire.Message) (*dnswire.Message, error) {
 	timeout := c.Timeout
 	if timeout == 0 {
@@ -183,6 +253,15 @@ func (c *UDPClient) Exchange(ctx context.Context, query *dnswire.Message) (*dnsw
 	if err != nil {
 		return nil, err
 	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "udp", c.ServerAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	bp := pktPool.Get().(*[]byte)
+	defer pktPool.Put(bp)
+	rbuf := *bp
 	var lastErr error = ErrTimeout
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
@@ -199,16 +278,12 @@ func (c *UDPClient) Exchange(ctx context.Context, query *dnswire.Message) (*dnsw
 					return nil, ctx.Err()
 				}
 			}
-			// Re-encode under a fresh ID derived from the original, so
-			// each attempt is its own transaction.
+			// Re-stamp the wire ID so each attempt is its own transaction;
+			// nothing else in the packet changes, so no re-encode.
 			id = uint16(iputil.Mix(uint64(query.Header.ID)+1, uint64(a)))
-			attempt := *query
-			attempt.Header.ID = id
-			if wire, err = attempt.Encode(nil); err != nil {
-				return nil, err
-			}
+			binary.BigEndian.PutUint16(wire[:2], id)
 		}
-		resp, err := c.exchangeOnce(ctx, wire, id, timeout)
+		resp, err := c.exchangeOnce(ctx, conn, rbuf, wire, id, timeout)
 		if err == nil {
 			// Restore the caller's transaction ID: which attempt won is a
 			// transport detail.
@@ -220,13 +295,7 @@ func (c *UDPClient) Exchange(ctx context.Context, query *dnswire.Message) (*dnsw
 	return nil, lastErr
 }
 
-func (c *UDPClient) exchangeOnce(ctx context.Context, wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
-	d := net.Dialer{Timeout: timeout}
-	conn, err := d.DialContext(ctx, "udp", c.ServerAddr)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
+func (c *UDPClient) exchangeOnce(ctx context.Context, conn net.Conn, rbuf, wire []byte, id uint16, timeout time.Duration) (*dnswire.Message, error) {
 	deadline := time.Now().Add(timeout)
 	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
 		deadline = ctxDeadline
@@ -235,20 +304,21 @@ func (c *UDPClient) exchangeOnce(ctx context.Context, wire []byte, id uint16, ti
 	if _, err := conn.Write(wire); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 4096)
 	for {
-		n, err := conn.Read(buf)
+		n, err := conn.Read(rbuf)
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				return nil, err
 			}
 			return nil, ErrTimeout
 		}
-		resp, err := dnswire.Decode(buf[:n])
-		if err != nil {
+		resp := dnswire.AcquireMessage()
+		if err := dnswire.DecodeInto(rbuf[:n], resp); err != nil {
+			dnswire.ReleaseMessage(resp)
 			continue // garbage on the socket: wait for a real response
 		}
 		if resp.Header.ID != id {
+			dnswire.ReleaseMessage(resp)
 			continue // stale response from a previous attempt
 		}
 		return resp, nil

@@ -444,3 +444,51 @@ func BenchmarkDecodeResponse(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEncoderReuse is BenchmarkEncodeECSQuery on the steady-state
+// path: one reusable message re-stamped per iteration (SetECS + ID) and
+// one Encoder whose compression map is cleared, not reallocated. This is
+// how scan workers and UDP server workers actually encode.
+func BenchmarkEncoderReuse(b *testing.B) {
+	pfx := netip.MustParsePrefix("203.0.113.0/24")
+	q := NewQuery(0, "mask.icloud.com", TypeA).WithECS(pfx)
+	var enc Encoder
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Header.ID = uint16(i)
+		q.SetECS(pfx)
+		var err error
+		buf, err = enc.Encode(q, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeInto is BenchmarkDecodeResponse without the per-op
+// message: the decode target and its section slices are reused, the way
+// UDP server workers and pooled client responses decode.
+func BenchmarkDecodeInto(b *testing.B) {
+	m := &Message{
+		Header:    Header{ID: 1, Response: true},
+		Questions: []Question{{Name: "mask.icloud.com.", Type: TypeA, Class: ClassIN}},
+		Edns:      &EDNS{UDPSize: 1232, ClientSubnet: &ClientSubnet{SourcePrefixLen: 24, ScopePrefixLen: 24, Addr: netip.MustParseAddr("203.0.113.0")}},
+	}
+	for i := 0; i < 8; i++ {
+		m.Answers = append(m.Answers, Record{Name: "mask.icloud.com.", Type: TypeA, Class: ClassIN, TTL: 60, A: netip.AddrFrom4([4]byte{17, 248, 0, byte(i)})})
+	}
+	wire, err := m.Encode(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(wire, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

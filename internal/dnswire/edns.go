@@ -106,8 +106,17 @@ func appendECS(buf []byte, cs *ClientSubnet) ([]byte, error) {
 
 // decodeECS decodes an ECS option body.
 func decodeECS(data []byte) (*ClientSubnet, error) {
+	cs := new(ClientSubnet)
+	if err := decodeECSInto(data, cs); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}
+
+// decodeECSInto decodes an ECS option body into cs, overwriting it.
+func decodeECSInto(data []byte, cs *ClientSubnet) error {
 	if len(data) < 4 {
-		return nil, ErrBadOption
+		return ErrBadOption
 	}
 	family := binary.BigEndian.Uint16(data[:2])
 	source := data[2]
@@ -115,28 +124,29 @@ func decodeECS(data []byte) (*ClientSubnet, error) {
 	addrBytes := data[4:]
 	nOctets := (int(source) + 7) / 8
 	if len(addrBytes) != nOctets {
-		return nil, ErrBadOption
+		return ErrBadOption
 	}
 	var addr netip.Addr
 	switch family {
 	case ecsFamilyIPv4:
 		if source > 32 || scope > 32 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
 		var b [4]byte
 		copy(b[:], addrBytes)
 		addr = netip.AddrFrom4(b)
 	case ecsFamilyIPv6:
 		if source > 128 || scope > 128 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
 		var b [16]byte
 		copy(b[:], addrBytes)
 		addr = netip.AddrFrom16(b)
 	default:
-		return nil, ErrBadOption
+		return ErrBadOption
 	}
-	return &ClientSubnet{SourcePrefixLen: source, ScopePrefixLen: scope, Addr: addr}, nil
+	*cs = ClientSubnet{SourcePrefixLen: source, ScopePrefixLen: scope, Addr: addr}
+	return nil
 }
 
 // appendOPT appends the full OPT pseudo-RR for e to buf.
@@ -175,10 +185,12 @@ func appendOPT(buf []byte, e *EDNS) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeOPT decodes the OPT pseudo-RR whose fixed fields have already been
-// read into rec by the record parser.
-func decodeOPT(rec *Record) (*EDNS, error) {
-	e := &EDNS{
+// decodeOPTInto decodes the OPT pseudo-RR whose fixed fields have already
+// been read into rec by the record parser, overwriting e and reusing its
+// ClientSubnet struct as scratch when present.
+func decodeOPTInto(rec *Record, e *EDNS) error {
+	cs := e.ClientSubnet // scratch from a previous decode, if any
+	*e = EDNS{
 		UDPSize:       uint16(rec.Class),
 		ExtendedRCode: uint8(rec.TTL >> 24),
 		Version:       uint8(rec.TTL >> 16),
@@ -187,18 +199,20 @@ func decodeOPT(rec *Record) (*EDNS, error) {
 	data := rec.Data
 	for len(data) > 0 {
 		if len(data) < 4 {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
 		code := binary.BigEndian.Uint16(data[:2])
 		olen := int(binary.BigEndian.Uint16(data[2:4]))
 		if len(data) < 4+olen {
-			return nil, ErrBadOption
+			return ErrBadOption
 		}
 		body := data[4 : 4+olen]
 		if code == OptionClientSubnet {
-			cs, err := decodeECS(body)
-			if err != nil {
-				return nil, err
+			if cs == nil {
+				cs = new(ClientSubnet)
+			}
+			if err := decodeECSInto(body, cs); err != nil {
+				return err
 			}
 			e.ClientSubnet = cs
 		} else {
@@ -206,5 +220,5 @@ func decodeOPT(rec *Record) (*EDNS, error) {
 		}
 		data = data[4+olen:]
 	}
-	return e, nil
+	return nil
 }

@@ -3,27 +3,44 @@ package dnswire
 import (
 	"encoding/binary"
 	"net/netip"
+
+	"github.com/relay-networks/privaterelay/internal/iputil"
 )
 
 // Encode serializes the message, appending to buf (which may be nil).
 // Names in questions and record owners are compressed; rdata names are
 // compressed where RFC 1035 permits (NS, CNAME, PTR, SOA).
 func (m *Message) Encode(buf []byte) ([]byte, error) {
-	return m.encode(buf, true)
+	return m.encode(buf, make(map[string]int, 8))
 }
 
 // EncodeUncompressed serializes the message without name compression —
 // kept for the compression ablation benchmark and interop testing.
 func (m *Message) EncodeUncompressed(buf []byte) ([]byte, error) {
-	return m.encode(buf, false)
+	return m.encode(buf, nil)
 }
 
-func (m *Message) encode(buf []byte, compressNames bool) ([]byte, error) {
-	base := len(buf)
-	var compress map[string]int
-	if compressNames {
-		compress = make(map[string]int, 8)
+// Encoder owns the scratch state for serializing messages — currently the
+// name-compression map — so tight loops encode without a per-message map
+// allocation. The zero value is ready to use. An Encoder is not safe for
+// concurrent use; give each worker its own.
+type Encoder struct {
+	compress map[string]int
+}
+
+// Encode serializes m with name compression, appending to buf (which may
+// be nil), reusing the encoder's compression map across calls.
+func (e *Encoder) Encode(m *Message, buf []byte) ([]byte, error) {
+	if e.compress == nil {
+		e.compress = make(map[string]int, 8)
+	} else {
+		clear(e.compress)
 	}
+	return m.encode(buf, e.compress)
+}
+
+func (m *Message) encode(buf []byte, compress map[string]int) ([]byte, error) {
+	base := len(buf)
 
 	h := m.Header
 	buf = binary.BigEndian.AppendUint16(buf, h.ID)
@@ -57,7 +74,7 @@ func (m *Message) encode(buf []byte, compressNames bool) ([]byte, error) {
 
 	var err error
 	for _, q := range m.Questions {
-		if buf, err = appendNameOffset(buf, q.Name, compress, base); err != nil {
+		if buf, err = appendName(buf, q.Name, compress, base); err != nil {
 			return nil, err
 		}
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
@@ -78,22 +95,10 @@ func (m *Message) encode(buf []byte, compressNames bool) ([]byte, error) {
 	return buf, nil
 }
 
-// appendNameOffset is appendName with compression offsets recorded relative
-// to msgBase instead of the start of buf.
-func appendNameOffset(buf []byte, name string, compress map[string]int, msgBase int) ([]byte, error) {
-	// appendName records offsets relative to buf start; adjust by recording
-	// into a view. Simplest correct approach: temporarily slice from msgBase.
-	out, err := appendName(buf[msgBase:], name, compress)
-	if err != nil {
-		return nil, err
-	}
-	return append(buf[:msgBase], out...), nil
-}
-
 // appendRecord appends one resource record.
 func appendRecord(buf []byte, r *Record, compress map[string]int, base int) ([]byte, error) {
 	var err error
-	if buf, err = appendNameOffset(buf, r.Name, compress, base); err != nil {
+	if buf, err = appendName(buf, r.Name, compress, base); err != nil {
 		return nil, err
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(r.Type))
@@ -115,15 +120,15 @@ func appendRecord(buf []byte, r *Record, compress map[string]int, base int) ([]b
 		b := r.AAAA.As16()
 		buf = append(buf, b[:]...)
 	case TypeNS:
-		if buf, err = appendNameOffset(buf, r.NS, compress, base); err != nil {
+		if buf, err = appendName(buf, r.NS, compress, base); err != nil {
 			return nil, err
 		}
 	case TypeCNAME:
-		if buf, err = appendNameOffset(buf, r.CNAME, compress, base); err != nil {
+		if buf, err = appendName(buf, r.CNAME, compress, base); err != nil {
 			return nil, err
 		}
 	case TypePTR:
-		if buf, err = appendNameOffset(buf, r.PTR, compress, base); err != nil {
+		if buf, err = appendName(buf, r.PTR, compress, base); err != nil {
 			return nil, err
 		}
 	case TypeTXT:
@@ -138,10 +143,10 @@ func appendRecord(buf []byte, r *Record, compress map[string]int, base int) ([]b
 		if r.SOA == nil {
 			return nil, ErrBadRData
 		}
-		if buf, err = appendNameOffset(buf, r.SOA.MName, compress, base); err != nil {
+		if buf, err = appendName(buf, r.SOA.MName, compress, base); err != nil {
 			return nil, err
 		}
-		if buf, err = appendNameOffset(buf, r.SOA.RName, compress, base); err != nil {
+		if buf, err = appendName(buf, r.SOA.RName, compress, base); err != nil {
 			return nil, err
 		}
 		buf = binary.BigEndian.AppendUint32(buf, r.SOA.Serial)
@@ -158,10 +163,30 @@ func appendRecord(buf []byte, r *Record, compress map[string]int, base int) ([]b
 
 // Decode parses a complete DNS message.
 func Decode(msg []byte) (*Message, error) {
-	if len(msg) < 12 {
-		return nil, ErrTruncatedMessage
+	m := new(Message)
+	if err := DecodeInto(msg, m); err != nil {
+		return nil, err
 	}
-	var m Message
+	return m, nil
+}
+
+// DecodeInto parses a complete DNS message into m, reusing m's question
+// and record slices (and its EDNS structs) from a previous decode so
+// steady-state decode loops stop allocating per message. On error m's
+// contents are undefined. Like Decode, it never retains references into
+// msg.
+func DecodeInto(msg []byte, m *Message) error {
+	if len(msg) < 12 {
+		return ErrTruncatedMessage
+	}
+	edns := m.Edns // scratch from a previous decode, if any
+	*m = Message{
+		pooled:      m.pooled,
+		Questions:   m.Questions[:0],
+		Answers:     m.Answers[:0],
+		Authorities: m.Authorities[:0],
+		Additionals: m.Additionals[:0],
+	}
 	m.Header.ID = binary.BigEndian.Uint16(msg[0:2])
 	flags := binary.BigEndian.Uint16(msg[2:4])
 	m.Header.Response = flags&(1<<15) != 0
@@ -183,41 +208,49 @@ func Decode(msg []byte) (*Message, error) {
 		var q Question
 		q.Name, off, err = decodeName(msg, off)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if off+4 > len(msg) {
-			return nil, ErrTruncatedMessage
+			return ErrTruncatedMessage
 		}
 		q.Type = Type(binary.BigEndian.Uint16(msg[off:]))
 		q.Class = Class(binary.BigEndian.Uint16(msg[off+2:]))
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	sections := []struct {
-		n    int
-		dest *[]Record
-	}{{an, &m.Answers}, {ns, &m.Authorities}, {ar, &m.Additionals}}
-	for si, sec := range sections {
-		for i := 0; i < sec.n; i++ {
+	for si := 0; si < 3; si++ {
+		var n int
+		var dest *[]Record
+		switch si {
+		case 0:
+			n, dest = an, &m.Answers
+		case 1:
+			n, dest = ns, &m.Authorities
+		default:
+			n, dest = ar, &m.Additionals
+		}
+		for i := 0; i < n; i++ {
 			var r Record
 			r, off, err = decodeRecord(msg, off)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if si == 2 && r.Type == TypeOPT {
-				e, err := decodeOPT(&r)
-				if err != nil {
-					return nil, err
+				if edns == nil {
+					edns = new(EDNS)
+				}
+				if err := decodeOPTInto(&r, edns); err != nil {
+					return err
 				}
 				// Merge the extended rcode bits into the header rcode.
-				m.Header.RCode |= RCode(e.ExtendedRCode) << 4
-				m.Edns = e
+				m.Header.RCode |= RCode(edns.ExtendedRCode) << 4
+				m.Edns = edns
 				continue
 			}
-			*sec.dest = append(*sec.dest, r)
+			*dest = append(*dest, r)
 		}
 	}
-	return &m, nil
+	return nil
 }
 
 // decodeRecord parses one RR starting at off, returning it and the offset
@@ -318,9 +351,26 @@ func NewQuery(id uint16, name string, qtype Type) *Message {
 // WithECS attaches an EDNS0 Client Subnet option for subnet to the query
 // and returns it for chaining.
 func (m *Message) WithECS(subnet netip.Prefix) *Message {
+	m.SetECS(subnet)
+	return m
+}
+
+// SetECS sets the EDNS0 Client Subnet option for subnet, rewriting the
+// message's existing EDNS/ClientSubnet structs in place when present.
+// Scan workers reuse one query message across millions of subnets by
+// mutating only the prefix (and Header.ID) per query, so the steady
+// state allocates nothing.
+func (m *Message) SetECS(subnet netip.Prefix) {
 	if m.Edns == nil {
 		m.Edns = &EDNS{UDPSize: 1232}
 	}
-	m.Edns.ClientSubnet = NewClientSubnet(subnet)
-	return m
+	cs := m.Edns.ClientSubnet
+	if cs == nil {
+		cs = new(ClientSubnet)
+		m.Edns.ClientSubnet = cs
+	}
+	subnet = iputil.CanonicalPrefix(subnet)
+	cs.SourcePrefixLen = uint8(subnet.Bits())
+	cs.ScopePrefixLen = 0
+	cs.Addr = subnet.Addr()
 }

@@ -8,8 +8,9 @@ const maxNameWire = 255
 // appendName appends the wire encoding of name to buf. When compress is
 // non-nil it is used as a name→offset map: suffixes already emitted are
 // replaced with compression pointers, and newly emitted suffixes are
-// recorded. Offsets beyond the 14-bit pointer range are never recorded.
-func appendName(buf []byte, name string, compress map[string]int) ([]byte, error) {
+// recorded. Offsets are relative to base (the message's start within
+// buf); offsets beyond the 14-bit pointer range are never recorded.
+func appendName(buf []byte, name string, compress map[string]int, base int) ([]byte, error) {
 	name = CanonicalName(name)
 	if name == "." {
 		return append(buf, 0), nil
@@ -18,18 +19,21 @@ func appendName(buf []byte, name string, compress map[string]int) ([]byte, error
 	if len(name)+1 > maxNameWire {
 		return nil, ErrNameTooLong
 	}
-	labels := strings.Split(strings.TrimSuffix(name, "."), ".")
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
+	// Walk labels in place: name is canonical ("a.b.c."), so every label
+	// ends at a dot and name[i:] is exactly the suffix starting at label
+	// i — usable directly as a compression-map key without allocating.
+	for i := 0; i < len(name); {
+		suffix := name[i:]
 		if compress != nil {
 			if off, ok := compress[suffix]; ok {
 				return append(buf, byte(0xC0|off>>8), byte(off)), nil
 			}
-			if len(buf) < 0x3FFF {
-				compress[suffix] = len(buf)
+			if off := len(buf) - base; off < 0x3FFF {
+				compress[suffix] = off
 			}
 		}
-		label := labels[i]
+		j := strings.IndexByte(suffix, '.') // >= 0: canonical names end in '.'
+		label := suffix[:j]
 		if len(label) == 0 {
 			return nil, ErrLabelTooLong // empty interior label is malformed
 		}
@@ -38,6 +42,7 @@ func appendName(buf []byte, name string, compress map[string]int) ([]byte, error
 		}
 		buf = append(buf, byte(len(label)))
 		buf = append(buf, label...)
+		i += j + 1
 	}
 	return append(buf, 0), nil
 }

@@ -1,0 +1,59 @@
+package dnswire
+
+import "sync"
+
+// Message pooling for the exchange hot path. The authoritative server
+// assembles every response in a pooled Message, and consumers that are
+// demonstrably done with a response (the scanner after record(), the
+// UDP/TCP servers after encoding) hand it back with ReleaseMessage.
+//
+// Ownership rules:
+//
+//   - A message returned by AcquireMessage is owned by exactly one
+//     goroutine at a time. Passing it across an Exchanger transfers
+//     ownership to the receiver.
+//   - ReleaseMessage recycles only messages that came from
+//     AcquireMessage; anything else is a no-op. Consumers may therefore
+//     release every response they finish with, without tracking where it
+//     came from — a test fake's static message or a fault injector's
+//     synthesized failure simply falls through to the GC.
+//   - Consumers that retain responses indefinitely (the resolver cache,
+//     Atlas measurement results) just never release them; retention is
+//     always safe because nothing recycles a message behind its back.
+//   - After ReleaseMessage the message must not be touched; its section
+//     slices are gone and its EDNS scratch will be rewritten by the next
+//     owner.
+
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// AcquireMessage returns a pooled Message. Its section slices are nil
+// and its Header is zero; Edns may point at scratch EDNS/ClientSubnet
+// structs from a previous life — overwrite them (e.g. via SetECS or
+// DecodeInto) or set Edns to nil before use.
+func AcquireMessage() *Message {
+	m := msgPool.Get().(*Message)
+	m.pooled = true
+	return m
+}
+
+// ReleaseMessage returns m to the pool if it came from AcquireMessage
+// (otherwise it is a no-op, see the ownership rules above). The
+// message's EDNS and ClientSubnet structs are kept as scratch so the
+// steady state re-serves them without allocating; everything that may
+// reference caller data (section slices, TXT/SOA/Data rdata) is dropped.
+func ReleaseMessage(m *Message) {
+	if m == nil || !m.pooled {
+		return
+	}
+	m.pooled = false
+	edns := m.Edns
+	if edns != nil {
+		cs := edns.ClientSubnet
+		*edns = EDNS{ClientSubnet: cs}
+		if cs != nil {
+			*cs = ClientSubnet{}
+		}
+	}
+	*m = Message{Edns: edns}
+	msgPool.Put(m)
+}

@@ -187,6 +187,10 @@ type Message struct {
 	Authorities []Record
 	Additionals []Record
 	Edns        *EDNS
+
+	// pooled marks messages that came from AcquireMessage, so
+	// ReleaseMessage never recycles a message it does not own.
+	pooled bool
 }
 
 // CanonicalName lowercases a domain name and guarantees a trailing dot,

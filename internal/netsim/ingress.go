@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"net/netip"
+	"sync"
 
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/iputil"
@@ -216,37 +217,122 @@ func (w *World) answerKey(subnet netip.Prefix) (uint64, bool) {
 	return iputil.HashPrefix(route), true
 }
 
+// answerCacheShards spreads the memoized answer sets over independently
+// locked maps so concurrent scan workers rarely contend.
+const answerCacheShards = 64
+
+// answerCacheShardCap bounds each shard; a shard that outgrows it is
+// cleared wholesale. Values are deterministic, so eviction only costs a
+// rebuild — at full scan scale the cache would otherwise retain an entry
+// per /24 in "both" ASes.
+const answerCacheShardCap = 1 << 13
+
+// answerCacheKey identifies one memoized answer set. known separates the
+// degenerate "not a client subnet" class (answer key 0, empty answer)
+// from a real key that happens to hash to 0. serving is part of the key
+// because the answer is pickAnswers(fleet(serving), key) and serving is
+// not always a function of key alone: the March fallback ramp hashes the
+// /24 itself, so two /24s sharing a covering-route key can be served by
+// different operators.
+type answerCacheKey struct {
+	key     uint64
+	known   bool
+	serving bgp.ASN
+	month   bgp.Month
+	proto   Proto
+	fam     Family
+}
+
+type answerCacheShard struct {
+	mu sync.RWMutex
+	m  map[answerCacheKey][]netip.Addr
+}
+
+// answerCache is a sharded map rather than a sync.Map: sync.Map boxes
+// non-pointer keys on every Load, which would put one allocation back on
+// the per-query path this cache exists to clear.
+type answerCache struct {
+	shards [answerCacheShards]answerCacheShard
+}
+
+func (c *answerCache) get(k answerCacheKey) ([]netip.Addr, bool) {
+	sh := &c.shards[k.key%answerCacheShards]
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// put stores v for k and returns the canonical value: the first writer
+// wins, so every caller shares one slice per key.
+func (c *answerCache) put(k answerCacheKey, v []netip.Addr) []netip.Addr {
+	sh := &c.shards[k.key%answerCacheShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if have, ok := sh.m[k]; ok {
+		return have
+	}
+	if sh.m == nil {
+		sh.m = make(map[answerCacheKey][]netip.Addr)
+	} else if len(sh.m) >= answerCacheShardCap {
+		clear(sh.m)
+	}
+	sh.m[k] = v
+	return v
+}
+
 // IngressAnswer returns the up-to-eight A records the authoritative name
 // server serves for an ECS query with the given client subnet, for the
-// month/plane. Record selection is deterministic per (subnet, month).
+// month/plane. Record selection is deterministic per (subnet, month) —
+// more precisely per the subnet's answer key, which also determines the
+// serving operator — so results are memoized per key and the returned
+// slice is shared between callers: treat it as read-only.
 func (w *World) IngressAnswer(subnet netip.Prefix, month bgp.Month, proto Proto) []netip.Addr {
+	subnet = iputil.CanonicalPrefix(subnet)
 	serving, ok := w.ServingAS(subnet, month, proto)
 	if !ok {
 		return nil
 	}
-	key, _ := w.answerKey(subnet)
+	key, known := w.answerKey(subnet)
+	ck := answerCacheKey{key, known, serving, month, proto, FamilyV4}
+	if out, ok := w.answers.get(ck); ok {
+		return out
+	}
 	fleet := w.IngressFleet(serving, month, proto, FamilyV4, 0)
 	if len(fleet) == 0 {
 		// Plane not yet deployed at this operator: Apple serves it.
 		fleet = w.IngressFleet(ASApple, month, proto, FamilyV4, 0)
 		if len(fleet) == 0 {
-			return nil
+			return w.answers.put(ck, nil)
 		}
 	}
-	return pickAnswers(fleet, key, month, proto)
+	return w.answers.put(ck, pickAnswers(fleet, key, month, proto))
 }
 
 // IngressAnswerV6 returns the AAAA records served to a resolver identified
 // by key (the server has no per-subnet view for IPv6 — it answers with
 // scope 0, §3). The Apple/Akamai split matches the April IPv6 shares.
+// Like IngressAnswer, results are memoized per key; the returned slice is
+// shared and read-only.
 func (w *World) IngressAnswerV6(key uint64, month bgp.Month, proto Proto) []netip.Addr {
 	serving := ASAkamaiPR
 	// 346/1575 ≈ 22 % of IPv6 relays sit at Apple.
 	if iputil.Mix(key, w.seed^0x6A)%100 < 22 {
 		serving = ASApple
 	}
+	ck := answerCacheKey{key, true, serving, month, proto, FamilyV6}
+	if out, ok := w.answers.get(ck); ok {
+		return out
+	}
 	fleet := w.IngressFleet(serving, month, proto, FamilyV6, 0)
-	return pickAnswers(fleet, key, month, proto)
+	return w.answers.put(ck, pickAnswers(fleet, key, month, proto))
+}
+
+// AnswerKey exposes the memoization key for subnet's answer set: the
+// hash the serving assignment and record selection are derived from.
+// The boolean mirrors answerKey's "is a client subnet" result.
+func (w *World) AnswerKey(subnet netip.Prefix) (uint64, bool) {
+	return w.answerKey(iputil.CanonicalPrefix(subnet))
 }
 
 // pickAnswers deterministically selects up to maxAnswerRecords distinct

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+)
+
+// TestPickAnswersSmallFleetComplete pins a property the answer cache
+// relies on: for fleets no larger than maxAnswerRecords, pickAnswers
+// returns every distinct member — the answer is the whole fleet, in a
+// key-dependent order. If the dedup bailout ever started dropping
+// members, cached and uncached answers would still agree (the cache
+// stores whatever pickAnswers returns) but the simulated CDN would
+// under-advertise its ingress fleet.
+func TestPickAnswersSmallFleetComplete(t *testing.T) {
+	months := []bgp.Month{{Year: 2022, M: 1}, {Year: 2022, M: 3}, {Year: 2022, M: 4}}
+	protos := []Proto{ProtoDefault, ProtoFallback}
+	for n := 1; n <= maxAnswerRecords; n++ {
+		fleet := make([]netip.Addr, n)
+		for i := range fleet {
+			fleet[i] = netip.AddrFrom4([4]byte{143, 92, byte(n), byte(i)})
+		}
+		for key := uint64(0); key < 500; key++ {
+			for _, month := range months {
+				for _, proto := range protos {
+					out := pickAnswers(fleet, key*0x9E3779B97F4A7C15, month, proto)
+					if len(out) != n {
+						t.Fatalf("n=%d key=%d month=%v proto=%v: got %d answers, want all %d",
+							n, key, month, proto, len(out), n)
+					}
+					seen := make(map[netip.Addr]bool, n)
+					for _, a := range out {
+						if seen[a] {
+							t.Fatalf("n=%d key=%d: duplicate answer %v", n, key, a)
+						}
+						seen[a] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPickAnswersTerminatesUnderDedupPressure feeds a fleet that is all
+// duplicates of one address: every draw collides, so only the k-bailout
+// can end the loop. The test passing at all is the assertion — without
+// the bailout it would spin forever.
+func TestPickAnswersTerminatesUnderDedupPressure(t *testing.T) {
+	same := netip.AddrFrom4([4]byte{143, 92, 0, 1})
+	fleet := make([]netip.Addr, maxAnswerRecords)
+	for i := range fleet {
+		fleet[i] = same
+	}
+	out := pickAnswers(fleet, 42, bgp.Month{Year: 2022, M: 4}, ProtoDefault)
+	if len(out) != 1 || out[0] != same {
+		t.Fatalf("got %v, want exactly [%v]", out, same)
+	}
+}

@@ -50,6 +50,12 @@ type World struct {
 	// per key and requested once per DNS query on the scan hot path, so
 	// rebuilding the slice each time dominated server-side allocation.
 	fleetCache sync.Map
+
+	// answers memoizes IngressAnswer/IngressAnswerV6 record sets. Answers
+	// are deterministic per (answer key, month, proto, family), so the
+	// steady-state serving path returns one shared read-only slice per
+	// equivalence class instead of re-running pickAnswers per query.
+	answers answerCache
 }
 
 type serviceKey struct {

@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: check vet build test race alloc bench bench-json chaos
+.PHONY: check vet lint build test race alloc bench bench-json chaos
 
-check: vet build race alloc bench
+check: vet lint build race alloc bench
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific analyzers (pool lifecycle, determinism, atomic-field
+# discipline, enum exhaustiveness). Dependency-free: relaylint is built
+# from this module with the same toolchain as the rest of the tree.
+lint:
+	$(GO) run ./cmd/relaylint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,85 @@
+// Command relaylint runs the project's static-analysis suite — see
+// internal/lint — over the packages matched by the argument patterns
+// (default ./...).
+//
+//	go run ./cmd/relaylint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage errors. Findings are
+// suppressed per line with `//lint:allow <analyzer> <justification>`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/relay-networks/privaterelay/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		only    = flag.String("only", "", "comma-separated analyzer names to run (default all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		for n := range keep {
+			fmt.Fprintf(os.Stderr, "relaylint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relaylint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relaylint: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "relaylint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "relaylint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,3 +1,7 @@
 module github.com/relay-networks/privaterelay
 
+// No requirements on purpose: the relaylint analyzer suite
+// (internal/lint, cmd/relaylint) mirrors the x/tools go/analysis API on
+// the standard library alone, so there are no analyzer dependencies to
+// pin and the tree builds offline with just the toolchain.
 go 1.22

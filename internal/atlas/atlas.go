@@ -566,6 +566,8 @@ func (c Campaign) RunDirect(ctx context.Context, pop *Population) ([]Measurement
 				res.Addrs = append(res.Addrs, rec.A)
 			case dnswire.TypeAAAA:
 				res.Addrs = append(res.Addrs, rec.AAAA)
+			default:
+				// Only address records feed probe measurements.
 			}
 		}
 		return nil

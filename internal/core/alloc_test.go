@@ -37,7 +37,7 @@ func TestProcessSubnetAllocBudget(t *testing.T) {
 		cfg:     &cfg,
 		attr:    cfg.Attribution.Snapshot(),
 		clock:   cfg.Clock,
-		limiter: newTokenBucket(cfg.QPS),
+		limiter: newTokenBucket(cfg.QPS, cfg.Clock),
 		breaker: newCircuitBreaker(cfg.Breaker, cfg.Clock),
 	}
 	worker := &scanWorker{st: st, sh: newScanShard(), budget: -1}

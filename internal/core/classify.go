@@ -33,8 +33,9 @@ func (c TrafficClass) String() string {
 		return "to-ingress"
 	case ClassFromEgress:
 		return "from-egress"
+	default:
+		return "unrelated"
 	}
-	return "unrelated"
 }
 
 // Classifier detects relay traffic from the two public datasets.

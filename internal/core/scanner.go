@@ -168,6 +168,7 @@ func (s *ServingStats) Operators() []bgp.ASN {
 	for as := range s.SubnetsByOperator {
 		out = append(out, as)
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -452,6 +453,10 @@ func ledgerFail(sh *scanShard, subnet netip.Prefix, out attemptOutcome) {
 		e.Stale++
 		e.LastKind = faults.KindStale
 		sh.stAttempts++
+	default:
+		// outcomeOK and outcomeError never reach the fault ledger:
+		// successes carry no fault and terminal transport errors are
+		// accounted in Stats.TermErrors.
 	}
 }
 
@@ -479,7 +484,7 @@ func (w *scanWorker) processSubnet(ctx context.Context, sh *scanShard, ref subne
 			w.defer_(sh, ref)
 			return false
 		}
-		st.limiter.wait()
+		st.limiter.wait(ctx)
 
 		// A fresh transaction ID per attempt: a late response to attempt
 		// N cannot satisfy attempt N+1. The query message itself is the
@@ -616,7 +621,7 @@ func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = faults.WallClock{}
 	}
-	start := time.Now()
+	start := cfg.Clock.Now()
 	ds := &Dataset{
 		Domain:    dnswire.CanonicalName(cfg.Domain),
 		Addresses: make(map[netip.Addr]bgp.ASN),
@@ -631,7 +636,7 @@ func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 		cfg:     &cfg,
 		attr:    attr,
 		clock:   cfg.Clock,
-		limiter: newTokenBucket(cfg.QPS),
+		limiter: newTokenBucket(cfg.QPS, cfg.Clock),
 		breaker: newCircuitBreaker(cfg.Breaker, cfg.Clock),
 	}
 
@@ -748,7 +753,7 @@ func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 		st.ckptErr = st.writeCheckpoint(ds.Domain)
 	}
 
-	ds.Stats.Elapsed = time.Since(start)
+	ds.Stats.Elapsed = cfg.Clock.Now().Sub(start)
 	// Unrecovered subnets are not an error — like the pre-resilience
 	// scanner, losses live in Stats (Timeouts, Errors, FailedSubnets,
 	// Ledger) and the dataset carries everything collected.
@@ -944,25 +949,28 @@ func sortAddrs(addrs []netip.Addr) {
 // tokenBucket is a lock-free client-side pacer: the bucket state is one
 // atomic timestamp (the next free send slot in nanoseconds) advanced by
 // compare-and-swap, so pacing never serializes workers on a mutex and
-// the sleep happens outside any shared critical section.
+// the sleep happens outside any shared critical section. It reads and
+// sleeps on the scan's injected clock, so paced chaos runs on a
+// VirtualClock cost no wall time.
 type tokenBucket struct {
 	interval int64 // nanoseconds per query; 0 disables pacing
+	clock    faults.Clock
 	next     atomic.Int64
 }
 
-func newTokenBucket(qps float64) *tokenBucket {
+func newTokenBucket(qps float64, clock faults.Clock) *tokenBucket {
 	if qps <= 0 {
-		return &tokenBucket{}
+		return &tokenBucket{clock: clock}
 	}
-	return &tokenBucket{interval: int64(float64(time.Second) / qps)}
+	return &tokenBucket{interval: int64(float64(time.Second) / qps), clock: clock}
 }
 
-func (b *tokenBucket) wait() {
+func (b *tokenBucket) wait(ctx context.Context) {
 	if b.interval == 0 {
 		return
 	}
 	for {
-		now := time.Now().UnixNano()
+		now := b.clock.Now().UnixNano()
 		next := b.next.Load()
 		target := next
 		if now > target {
@@ -970,7 +978,7 @@ func (b *tokenBucket) wait() {
 		}
 		if b.next.CompareAndSwap(next, target+b.interval) {
 			if wait := target - now; wait > 0 {
-				time.Sleep(time.Duration(wait))
+				_ = b.clock.Sleep(ctx, time.Duration(wait))
 			}
 			return
 		}

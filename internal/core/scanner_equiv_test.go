@@ -9,6 +9,7 @@ import (
 
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
+	"github.com/relay-networks/privaterelay/internal/faults"
 	"github.com/relay-networks/privaterelay/internal/netsim"
 )
 
@@ -102,7 +103,8 @@ func TestScanServingCoversUniverse(t *testing.T) {
 // a zero-rate bucket never blocks.
 func TestTokenBucketPacing(t *testing.T) {
 	const qps, permits = 2000.0, 40
-	tb := newTokenBucket(qps)
+	ctx := context.Background()
+	tb := newTokenBucket(qps, faults.WallClock{})
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
@@ -110,7 +112,7 @@ func TestTokenBucketPacing(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < permits/4; j++ {
-				tb.wait()
+				tb.wait(ctx)
 			}
 		}()
 	}
@@ -120,10 +122,10 @@ func TestTokenBucketPacing(t *testing.T) {
 		t.Fatalf("%d permits at %.0f qps finished in %v, want >= %v", permits, qps, elapsed, minElapsed)
 	}
 
-	unlimited := newTokenBucket(0)
+	unlimited := newTokenBucket(0, faults.WallClock{})
 	done := time.Now()
 	for i := 0; i < 1000; i++ {
-		unlimited.wait()
+		unlimited.wait(ctx)
 	}
 	if time.Since(done) > 100*time.Millisecond {
 		t.Fatal("unlimited bucket blocked")

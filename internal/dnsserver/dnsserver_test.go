@@ -11,6 +11,7 @@ import (
 	"github.com/relay-networks/privaterelay/internal/dnswire"
 	"github.com/relay-networks/privaterelay/internal/iputil"
 	"github.com/relay-networks/privaterelay/internal/netsim"
+	"github.com/relay-networks/privaterelay/internal/vclock"
 )
 
 func testSetup(t testing.TB) (*netsim.World, *AuthServer) {
@@ -196,8 +197,8 @@ func TestWhoami(t *testing.T) {
 
 func TestRateLimiting(t *testing.T) {
 	w := netsim.NewWorld(netsim.Params{Seed: 3, Scale: 0.0005})
-	clock := time.Unix(0, 0)
-	rl := NewRateLimiter(10, 2, func() time.Time { return clock })
+	clock := vclock.NewVirtualClock()
+	rl := NewRateLimiter(10, 2, clock)
 	srv := NewAuthServer(w, netsim.MonthApr, rl)
 	subnet := clientSubnetOf(w, 0)
 	from := netip.MustParseAddr("198.51.100.1")
@@ -215,13 +216,56 @@ func TestRateLimiting(t *testing.T) {
 		t.Fatalf("rate-limited counter = %d", srv.Stats.RateLimited.Load())
 	}
 	// Advance time: tokens refill at 10/s.
-	clock = clock.Add(200 * time.Millisecond)
+	if err := clock.Sleep(context.Background(), 200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
 	if srv.Handle(ecsQuery(4, MaskDomain, subnet), from) == nil {
 		t.Fatal("query after refill dropped")
 	}
 	// A different source has its own bucket.
 	if srv.Handle(ecsQuery(5, MaskDomain, subnet), netip.MustParseAddr("198.51.100.2")) == nil {
 		t.Fatal("other source rate limited")
+	}
+}
+
+// TestRateLimiterVirtualClock drives the limiter purely on a
+// VirtualClock: the refill schedule is a function of ticked time only,
+// so chaos tests can starve and recover a source without wall delays.
+func TestRateLimiterVirtualClock(t *testing.T) {
+	ctx := context.Background()
+	clock := vclock.NewVirtualClock()
+	rl := NewRateLimiter(5, 3, clock) // 5 tokens/s, burst 3
+	key := netip.MustParseAddr("203.0.113.7")
+
+	for i := 0; i < 3; i++ {
+		if !rl.Allow(key) {
+			t.Fatalf("burst query %d refused", i)
+		}
+	}
+	if rl.Allow(key) {
+		t.Fatal("query beyond burst allowed")
+	}
+	// 200ms of virtual time buys exactly one token at 5/s.
+	if err := clock.Sleep(ctx, 200*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !rl.Allow(key) {
+		t.Fatal("refilled token refused")
+	}
+	if rl.Allow(key) {
+		t.Fatal("second query after a one-token refill allowed")
+	}
+	// A long virtual sleep caps the bucket at burst, not rate*elapsed.
+	if err := clock.Sleep(ctx, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !rl.Allow(key) {
+			t.Fatalf("post-cap query %d refused", i)
+		}
+	}
+	if rl.Allow(key) {
+		t.Fatal("bucket exceeded burst after long sleep")
 	}
 }
 

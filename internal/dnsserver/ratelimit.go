@@ -4,6 +4,8 @@ import (
 	"net/netip"
 	"sync"
 	"time"
+
+	"github.com/relay-networks/privaterelay/internal/vclock"
 )
 
 // RateLimiter is a per-source token bucket. The paper's authoritative
@@ -17,7 +19,7 @@ type RateLimiter struct {
 	rate    float64 // tokens per second
 	burst   float64
 	buckets map[netip.Addr]*bucket
-	now     func() time.Time
+	clock   vclock.Clock
 }
 
 type bucket struct {
@@ -26,16 +28,18 @@ type bucket struct {
 }
 
 // NewRateLimiter returns a limiter granting rate queries/second with the
-// given burst per source key. A nil clock uses time.Now.
-func NewRateLimiter(rate, burst float64, clock func() time.Time) *RateLimiter {
+// given burst per source key. The clock (faults.Clock and vclock.Clock
+// are the same type) lets chaos tests drive refills on a VirtualClock;
+// nil uses the wall clock.
+func NewRateLimiter(rate, burst float64, clock vclock.Clock) *RateLimiter {
 	if clock == nil {
-		clock = time.Now
+		clock = vclock.WallClock{}
 	}
 	return &RateLimiter{
 		rate:    rate,
 		burst:   burst,
 		buckets: make(map[netip.Addr]*bucket),
-		now:     clock,
+		clock:   clock,
 	}
 }
 
@@ -43,7 +47,7 @@ func NewRateLimiter(rate, burst float64, clock func() time.Time) *RateLimiter {
 func (rl *RateLimiter) Allow(key netip.Addr) bool {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
-	now := rl.now()
+	now := rl.clock.Now()
 	b, ok := rl.buckets[key]
 	if !ok {
 		b = &bucket{tokens: rl.burst, last: now}

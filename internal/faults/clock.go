@@ -1,77 +1,24 @@
 package faults
 
-import (
-	"context"
-	"sync/atomic"
-	"time"
-)
+import "github.com/relay-networks/privaterelay/internal/vclock"
+
+// The clock abstraction lives in the leaf package internal/vclock so
+// that packages faults itself depends on (dnsserver, masque) can accept
+// an injectable clock without an import cycle. The fault plane's
+// callers keep using the faults.Clock names; the aliases below make
+// them the same types.
 
 // Clock abstracts time for the fault plane and every resilient
-// orchestrator built on it. Production code runs on the wall clock;
-// tests run on a virtual clock so backoff sleeps, circuit-breaker
-// cooldowns and injected latency cost no wall time and chaos runs stay
-// fast and deterministic.
-type Clock interface {
-	// Now returns the clock's current time.
-	Now() time.Time
-	// Sleep pauses for d or until ctx is done, returning ctx.Err() in
-	// the latter case.
-	Sleep(ctx context.Context, d time.Duration) error
-}
+// orchestrator built on it. See vclock.Clock.
+type Clock = vclock.Clock
 
 // WallClock is the real time.Now/time.Sleep clock.
-type WallClock struct{}
+type WallClock = vclock.WallClock
 
-// Now implements Clock.
-func (WallClock) Now() time.Time { return time.Now() }
-
-// Sleep implements Clock; it is context-aware.
-func (WallClock) Sleep(ctx context.Context, d time.Duration) error {
-	if d <= 0 {
-		return ctx.Err()
-	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// VirtualClock advances only when slept on: Sleep(d) atomically adds d
-// to the clock and returns immediately. Concurrent sleepers interleave
-// arbitrarily — the clock models elapsed effort, not a schedule — which
-// is exactly enough for backoff and cooldown logic to make progress
-// without wall delays.
-type VirtualClock struct {
-	base time.Time
-	ns   atomic.Int64
-}
+// VirtualClock advances only when slept on; see vclock.VirtualClock.
+type VirtualClock = vclock.VirtualClock
 
 // NewVirtualClock starts a virtual clock at an arbitrary fixed epoch.
 func NewVirtualClock() *VirtualClock {
-	return &VirtualClock{base: time.Unix(1_650_000_000, 0)} // fixed epoch: runs are reproducible
-}
-
-// Now implements Clock.
-func (c *VirtualClock) Now() time.Time {
-	return c.base.Add(time.Duration(c.ns.Load()))
-}
-
-// Sleep implements Clock: it advances the clock by d without blocking.
-func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if d > 0 {
-		c.ns.Add(int64(d))
-	}
-	return nil
-}
-
-// Elapsed reports how much virtual time has been slept away.
-func (c *VirtualClock) Elapsed() time.Duration {
-	return time.Duration(c.ns.Load())
+	return vclock.NewVirtualClock()
 }

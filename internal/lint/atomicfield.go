@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Atomicfield enforces single-discipline access to atomically-used
+// struct fields, in two forms:
+//
+//   - a field passed by address to a sync/atomic function anywhere in
+//     the package must never be read or written plainly — a single
+//     plain load next to atomic stores is a data race the race
+//     detector only finds when the interleaving happens;
+//   - a field of one of the sync/atomic wrapper types (atomic.Int64,
+//     atomic.Pointer, …) must only be touched through its methods
+//     (or passed by address); copying or reassigning the wrapper
+//     smuggles a plain access past the type's protection.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic must not be read or written " +
+		"plainly anywhere else",
+	Run: runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	// First sweep: every &x.f argument to a sync/atomic call marks the
+	// field f as atomic and blesses that particular selector node.
+	atomicFields := map[*types.Var]bool{}
+	blessed := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldOf(pass.Info, sel); f != nil {
+					atomicFields[f] = true
+					blessed[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Second sweep: any other access to those fields, and any non-method
+	// use of a wrapper-typed field, is a violation.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := fieldOf(pass.Info, sel)
+			if f == nil {
+				return true
+			}
+			if atomicFields[f] && !blessed[sel] {
+				pass.Reportf(sel.Pos(),
+					"plain access to field %s, which is accessed with sync/atomic elsewhere in this package",
+					f.Name())
+				return true
+			}
+			if isAtomicWrapperType(f.Type()) && !wrapperUseOK(stack) {
+				pass.Reportf(sel.Pos(),
+					"field %s has type %s and must only be used via its methods or by address",
+					f.Name(), f.Type().String())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isAtomicWrapperType reports whether t is one of the sync/atomic
+// wrapper structs (atomic.Int64, atomic.Pointer[T], …).
+func isAtomicWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// wrapperUseOK reports whether the wrapper-field selector at the top of
+// stack is used legitimately: as the receiver of a method call
+// (x.f.Load()) or with its address taken (&x.f).
+func wrapperUseOK(stack []ast.Node) bool {
+	sel := stack[len(stack)-1].(*ast.SelectorExpr)
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.SelectorExpr:
+			// x.f.Load — the wrapper is the X of a method selector.
+			return parent.X == sel || innerExpr(parent.X) == sel
+		case *ast.UnaryExpr:
+			return parent.Op.String() == "&"
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// innerExpr strips parens.
+func innerExpr(e ast.Expr) ast.Expr { return ast.Unparen(e) }

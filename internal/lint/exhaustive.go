@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive checks that a switch over one of the repo's enum-style
+// constant sets (fault kinds, DNS protocols, scan phases, outcome
+// classifications, …) either covers every constant of the set or
+// carries a default clause. A new enum member then fails the lint at
+// every switch that has not decided what to do with it.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over the repo's enum-style constant sets must cover every " +
+		"constant or have a default clause",
+	Run: runExhaustive,
+}
+
+func runExhaustive(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.Info.TypeOf(sw.Tag)
+	set := enumSet(pass, tagType)
+	if len(set) < 2 {
+		return // not one of the repo's enum sets
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		clause := stmt.(*ast.CaseClause)
+		if clause.List == nil {
+			return // default clause: the switch has decided
+		}
+		for _, expr := range clause.List {
+			if tv, ok := pass.Info.Types[expr]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range set {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	named, _ := tagType.(*types.Named)
+	pass.Reportf(sw.Pos(), "switch over %s misses %s and has no default",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// enumSet returns the package-level constants forming t's enum set, or
+// nil when t is not an enum-style named type declared in this module.
+// Constants with duplicate values (aliases) collapse through the
+// value-based coverage check, and unexported constants only bind
+// switches inside the defining package.
+func enumSet(pass *Pass, t types.Type) []*types.Const {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !inModule(obj.Pkg().Path()) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return nil
+	}
+	samePkg := pass.Pkg.Path() == obj.Pkg().Path()
+	var set []*types.Const
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			continue
+		}
+		if !samePkg && !c.Exported() {
+			continue
+		}
+		set = append(set, c)
+	}
+	return set
+}
+
+// inModule reports whether path belongs to this repository (testdata
+// packages run under fabricated module-prefixed paths, so they
+// participate too).
+func inModule(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/") ||
+		strings.Contains(path, "/lintdata/")
+}

@@ -1,0 +1,158 @@
+// Package lint is relaylint: a project-specific static-analysis suite
+// enforcing the invariants the test suite can only spot-check — pooled
+// message lifecycles (poolcheck), dataset determinism (determinism),
+// atomic-field access discipline (atomicfield) and enum switch coverage
+// (exhaustive).
+//
+// The suite is deliberately dependency-free: it mirrors the
+// golang.org/x/tools/go/analysis Analyzer/Pass shape on the standard
+// library alone, loading type information through `go list -export`
+// and the gc export-data importer, so `go run ./cmd/relaylint ./...`
+// needs nothing beyond the toolchain that builds the repo.
+//
+// Suppression: a finding is silenced by a `//lint:allow <analyzer>`
+// comment on the flagged line or the line directly above it. Multiple
+// analyzers may be listed comma-separated; anything after the analyzer
+// list is a free-form justification, which the convention requires.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// modulePath scopes project-specific rules (enum sets, deterministic
+// packages) to this repository's types.
+const modulePath = "github.com/relay-networks/privaterelay"
+
+// dnswirePath identifies the pooled-message package poolcheck guards.
+const dnswirePath = modulePath + "/internal/dnswire"
+
+// An Analyzer is one lint pass. The shape mirrors
+// golang.org/x/tools/go/analysis so the passes could migrate to a
+// multichecker unchanged if the dependency ever lands.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned in the pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a resolved diagnostic as printed by cmd/relaylint.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// All returns the full relaylint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Poolcheck, Determinism, Atomicfield, Exhaustive}
+}
+
+// RunAnalyzers applies each analyzer to each package and returns the
+// unsuppressed findings, sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if allow.allows(a.Name, pos) {
+					return
+				}
+				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+func sortFindings(fs []Finding) {
+	// Position order makes output stable across runs and analyzers.
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && lessFinding(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func lessFinding(a, b Finding) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic
+// calls (function values, interface methods resolve to their declared
+// *types.Func, which is what the analyzers want).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// hasPathSuffix reports whether pkg path matches suffix on a path
+// boundary, so testdata packages with fabricated prefixes participate.
+func hasPathSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

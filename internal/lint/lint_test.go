@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// runGolden is the analysistest-style harness: it loads one testdata
+// package under a fabricated import path, runs a single analyzer
+// through the production pipeline (including //lint:allow suppression)
+// and matches findings against `// want "regex"` comments line by line.
+func runGolden(t *testing.T, a *Analyzer, dirname, asPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", dirname)
+	pkg, err := LoadDir("../..", dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type expectation struct {
+		re  *regexp.Regexp
+		hit bool
+	}
+	wants := map[string][]*expectation{} // "file:line" → pending expectations
+	wantRe := regexp.MustCompile("^// want [\"`]([^\"`]+)[\"`]")
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				wants[key] = append(wants[key], &expectation{re: regexp.MustCompile(m[1])})
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.hit && exp.re.MatchString(f.Message) {
+				exp.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: %s", key, f.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.hit {
+				t.Errorf("missing finding at %s matching %q", key, exp.re)
+			}
+		}
+	}
+}
+
+func TestPoolcheckGolden(t *testing.T) {
+	runGolden(t, Poolcheck, "poolcheck", modulePath+"/lintdata/poolcheck")
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	// The fabricated path ends in internal/core, putting the testdata
+	// inside the deterministic package set.
+	runGolden(t, Determinism, "determinism", modulePath+"/lintdata/internal/core")
+}
+
+func TestAtomicfieldGolden(t *testing.T) {
+	runGolden(t, Atomicfield, "atomicfield", modulePath+"/lintdata/atomicfield")
+}
+
+func TestExhaustiveGolden(t *testing.T) {
+	runGolden(t, Exhaustive, "exhaustive", modulePath+"/lintdata/exhaustive")
+}
+
+// TestSuppressionForms pins the two sanctioned //lint:allow placements
+// (trailing and own-line) and that an allow for one analyzer does not
+// silence another.
+func TestSuppressionForms(t *testing.T) {
+	idx := allowIndex{"f.go": {10: {"poolcheck"}, 11: {"poolcheck"}}}
+	pos := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	if !idx.allows("poolcheck", pos(10)) {
+		t.Error("trailing-form line not allowed")
+	}
+	if !idx.allows("poolcheck", pos(11)) {
+		t.Error("line after own-line comment not allowed")
+	}
+	if idx.allows("determinism", pos(10)) {
+		t.Error("allow for poolcheck must not silence determinism")
+	}
+	if idx.allows("poolcheck", pos(12)) {
+		t.Error("allow must not reach two lines down")
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		comment string
+		want    []string
+	}{
+		{"//lint:allow poolcheck — justification", []string{"poolcheck"}},
+		{"//lint:allow determinism,exhaustive partial switch", []string{"determinism", "exhaustive"}},
+		{"// lint:allow atomicfield", []string{"atomicfield"}},
+		{"// plain comment", nil},
+		{"//lint:allowother", nil},
+	}
+	for _, c := range cases {
+		got := parseAllow(c.comment)
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.comment, got, c.want)
+		}
+	}
+}
+
+// TestLoadRepoPackage exercises the production loader path cmd/relaylint
+// uses, against a real repo package.
+func TestLoadRepoPackage(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/dnswire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != modulePath+"/internal/dnswire" {
+		t.Fatalf("loaded %v", pkgs)
+	}
+	findings, err := RunAnalyzers(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding in dnswire: %s", f)
+	}
+}

@@ -1,0 +1,625 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Poolcheck enforces the dnswire message-pool ownership rules that the
+// zero-allocation exchange path depends on:
+//
+//   - every dnswire.AcquireMessage result is released on all
+//     control-flow paths — by dnswire.ReleaseMessage directly or via a
+//     (possibly same-package) callee that releases its parameter — or
+//     explicitly handed to the caller by returning it;
+//   - a message is never used after ReleaseMessage, and never released
+//     twice;
+//   - a pooled message is never stored into a struct field, global or
+//     container, which would let the pool recycle it behind a retained
+//     reference.
+//
+// The analysis is per-function with same-package interprocedural
+// release tracking; acquired messages captured by closures are skipped
+// (conservatively unchecked) rather than misreported.
+var Poolcheck = &Analyzer{
+	Name: "poolcheck",
+	Doc: "dnswire.AcquireMessage must be paired with ReleaseMessage on every " +
+		"path, with no use after release and no stores of pooled messages",
+	Run: runPoolcheck,
+}
+
+func runPoolcheck(pass *Pass) error {
+	rel := findReleasers(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd, rel)
+		}
+	}
+	return nil
+}
+
+// releaserSet maps a function to the parameter indices it releases
+// (directly or through another releaser) on some path.
+type releaserSet map[*types.Func]map[int]bool
+
+// findReleasers computes, to a fixpoint, which functions in this
+// package hand a parameter back to the message pool. This is what makes
+// the acquire-here/release-in-callee pattern check out.
+func findReleasers(pass *Pass) releaserSet {
+	rel := releaserSet{}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			params := paramObjs(pass, fd)
+			for idx, p := range params {
+				if rel[fn][idx] || p == nil {
+					continue
+				}
+				released := false
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || released {
+						return !released
+					}
+					if i := releasingArgIndex(pass, rel, call); i >= 0 && i < len(call.Args) {
+						if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok && pass.Info.Uses[id] == p {
+							released = true
+						}
+					}
+					return true
+				})
+				if released {
+					if rel[fn] == nil {
+						rel[fn] = map[int]bool{}
+					}
+					rel[fn][idx] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return rel
+}
+
+// paramObjs returns the declared parameter objects of fd in order.
+func paramObjs(pass *Pass, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, pass.Info.Defs[name])
+		}
+		if len(field.Names) == 0 {
+			out = append(out, nil) // unnamed parameter can never be released
+		}
+	}
+	return out
+}
+
+// releasingArgIndex reports which argument position of call is released
+// by the callee: 0 for dnswire.ReleaseMessage itself, the releasing
+// parameter index for a same-package releaser, -1 otherwise.
+func releasingArgIndex(pass *Pass, rel releaserSet, call *ast.CallExpr) int {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return -1
+	}
+	if fn.Name() == "ReleaseMessage" && fn.Pkg() != nil && hasPathSuffix(fn.Pkg().Path(), "internal/dnswire") {
+		return 0
+	}
+	for idx := range rel[fn] {
+		return idx // one releasing parameter is the practical case
+	}
+	return -1
+}
+
+func isAcquireCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.Info, call)
+	return fn != nil && fn.Name() == "AcquireMessage" && fn.Pkg() != nil &&
+		hasPathSuffix(fn.Pkg().Path(), "internal/dnswire")
+}
+
+func checkPoolFunc(pass *Pass, fd *ast.FuncDecl, rel releaserSet) {
+	// Rule: an acquire whose result is discarded leaks immediately.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && isAcquireCall(pass, call) {
+			pass.Reportf(call.Pos(), "result of dnswire.AcquireMessage discarded: the message leaks from the pool")
+		}
+		return true
+	})
+
+	// Track each `v := dnswire.AcquireMessage()` through the function.
+	for _, site := range acquireSites(pass, fd) {
+		if capturedByClosure(pass, fd, site.obj) {
+			continue // conservatively unchecked rather than misreported
+		}
+		w := &poolWalker{pass: pass, rel: rel, v: site.obj, acquire: site.stmt, seen: map[token.Pos]bool{}}
+		st, _ := w.walkStmts(fd.Body.List, pstate{untracked: true})
+		if st.live && !st.deferRel {
+			w.leak = true
+		}
+		if w.leak {
+			pass.Reportf(site.stmt.Pos(),
+				"message %s from dnswire.AcquireMessage is not released on every path (pair it with dnswire.ReleaseMessage, hand it to a releasing callee, or return it)",
+				site.obj.Name())
+		}
+	}
+
+	// Straight-line use-after-release and double-release, for every
+	// released variable — including ones this function never acquired.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		scanBlockAfterRelease(pass, block)
+		return true
+	})
+}
+
+type acquireSite struct {
+	stmt *ast.AssignStmt
+	obj  types.Object
+}
+
+func acquireSites(pass *Pass, fd *ast.FuncDecl) []acquireSite {
+	var out []acquireSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isAcquireCall(pass, call) {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil {
+			out = append(out, acquireSite{stmt: as, obj: obj})
+		}
+		return true
+	})
+	return out
+}
+
+func capturedByClosure(pass *Pass, fd *ast.FuncDecl, v types.Object) bool {
+	captured := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok || captured {
+			return !captured
+		}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+				captured = true
+			}
+			return !captured
+		})
+		return false
+	})
+	return captured
+}
+
+// pstate is the set of states the tracked message may be in on the
+// paths reaching a program point.
+type pstate struct {
+	untracked bool // before the acquire ran (or after reassignment)
+	live      bool // acquired, not yet released
+	released  bool // handed back to the pool
+	escaped   bool // ownership transferred (returned / releasing callee / given up)
+	deferRel  bool // a deferred release covers every later exit
+}
+
+func mergeState(a, b pstate) pstate {
+	return pstate{
+		untracked: a.untracked || b.untracked,
+		live:      a.live || b.live,
+		released:  a.released || b.released,
+		escaped:   a.escaped || b.escaped,
+		deferRel:  a.deferRel && b.deferRel,
+	}
+}
+
+type loopCtx struct {
+	exits []pstate // states at break/continue out of the loop body
+}
+
+// poolWalker is a small abstract interpreter over one function body for
+// one acquired variable. It is deliberately approximate: merges are
+// unions, loops run at most once, goto gives up — tuned so that every
+// report is a genuine "some path leaks/misuses" and quiet code stays
+// quiet.
+type poolWalker struct {
+	pass    *Pass
+	rel     releaserSet
+	v       types.Object
+	acquire *ast.AssignStmt
+	loops   []*loopCtx
+	leak    bool
+	seen    map[token.Pos]bool
+}
+
+// walkStmts walks a statement list; the bool result reports whether the
+// flow terminated (every path returned or branched away).
+func (w *poolWalker) walkStmts(list []ast.Stmt, st pstate) (pstate, bool) {
+	for _, stmt := range list {
+		var term bool
+		st, term = w.walkStmt(stmt, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *poolWalker) walkStmt(stmt ast.Stmt, st pstate) (pstate, bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if s == w.acquire {
+			return pstate{live: true, deferRel: st.deferRel}, false
+		}
+		w.checkStore(s, st)
+		for _, lhs := range s.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && w.isV(id) {
+				// v rebound: the old value's fate was decided above.
+				return pstate{untracked: true, deferRel: st.deferRel}, false
+			}
+		}
+		return st, false
+
+	case *ast.ExprStmt:
+		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+		if !ok {
+			return st, false
+		}
+		return w.applyCall(call, st), false
+
+	case *ast.DeferStmt:
+		if i := releasingArgIndex(w.pass, w.rel, s.Call); i >= 0 && i < len(s.Call.Args) {
+			if id, ok := ast.Unparen(s.Call.Args[i]).(*ast.Ident); ok && w.isV(id) {
+				st.deferRel = true
+			}
+		}
+		return st, false
+
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if w.exprMentionsV(res) {
+				st.escaped, st.live, st.untracked = true, false, false
+				return st, true
+			}
+		}
+		if st.live && !st.deferRel {
+			w.leak = true
+		}
+		return st, true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		thenSt, thenTerm := w.walkStmts(s.Body.List, st)
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.walkStmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return mergeState(thenSt, elseSt), true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return mergeState(thenSt, elseSt), false
+		}
+
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		return w.walkLoopBody(s.Body, st, s.Cond == nil), false
+
+	case *ast.RangeStmt:
+		return w.walkLoopBody(s.Body, st, false), false
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkClauses(stmt, st)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			st.escaped, st.live, st.untracked, st.released = true, false, false, false
+			return st, true
+		}
+		if len(w.loops) > 0 {
+			ctx := w.loops[len(w.loops)-1]
+			ctx.exits = append(ctx.exits, st)
+		}
+		return st, true
+
+	case *ast.GoStmt:
+		return st, false // closure capture is pre-filtered
+
+	default:
+		return st, false
+	}
+}
+
+// walkLoopBody walks a loop body once, merging break/continue exits and
+// the back edge. A message acquired inside the body must be dead by the
+// end of each iteration; infinite loops (for{}) have no zero-iteration
+// path.
+func (w *poolWalker) walkLoopBody(body *ast.BlockStmt, st pstate, infinite bool) pstate {
+	ctx := &loopCtx{}
+	w.loops = append(w.loops, ctx)
+	endSt, term := w.walkStmts(body.List, st)
+	w.loops = w.loops[:len(w.loops)-1]
+
+	acquiredInside := w.acquire != nil && body.Pos() <= w.acquire.Pos() && w.acquire.Pos() < body.End()
+	out := st
+	if infinite {
+		out = pstate{deferRel: st.deferRel} // only breaks leave a for{}
+		if len(ctx.exits) == 0 && !term {
+			out = endSt // degenerate: falls out via panics only; keep something sane
+		}
+	}
+	states := ctx.exits
+	if !term {
+		states = append(states, endSt)
+	}
+	for _, s := range states {
+		if acquiredInside && s.live && !s.deferRel {
+			// Back edge or loop exit with a live per-iteration message.
+			w.leak = true
+		}
+		if !infinite || !acquiredInside {
+			out = mergeState(out, s)
+		}
+	}
+	if acquiredInside {
+		// Whatever happened inside, the per-iteration variable is out of
+		// scope after the loop.
+		out.live = false
+		out.untracked = true
+	}
+	return out
+}
+
+func (w *poolWalker) walkClauses(stmt ast.Stmt, st pstate) (pstate, bool) {
+	var clauses [][]ast.Stmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			clauses = append(clauses, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			clauses = append(clauses, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clauses = append(clauses, cc.Body)
+			hasDefault = hasDefault || cc.Comm == nil
+		}
+	}
+	if len(clauses) == 0 {
+		return st, false
+	}
+	merged := pstate{}
+	first := true
+	allTerm := true
+	for _, body := range clauses {
+		cst, cterm := w.walkStmts(body, st)
+		if cterm {
+			continue
+		}
+		allTerm = false
+		if first {
+			merged, first = cst, false
+		} else {
+			merged = mergeState(merged, cst)
+		}
+	}
+	if !hasDefault {
+		allTerm = false
+		if first {
+			merged, first = st, false
+		} else {
+			merged = mergeState(merged, st)
+		}
+	}
+	if allTerm {
+		return st, true
+	}
+	if first {
+		return st, true
+	}
+	return merged, false
+}
+
+// applyCall folds one call statement into the state: release, transfer
+// to a releasing callee, or no effect.
+func (w *poolWalker) applyCall(call *ast.CallExpr, st pstate) pstate {
+	if i := releasingArgIndex(w.pass, w.rel, call); i >= 0 && i < len(call.Args) {
+		if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok && w.isV(id) {
+			if calleeFunc(w.pass.Info, call).Name() == "ReleaseMessage" {
+				return pstate{released: true, deferRel: st.deferRel}
+			}
+			return pstate{escaped: true, deferRel: st.deferRel}
+		}
+	}
+	return st
+}
+
+// checkStore reports rule 3: a live pooled message stored into a struct
+// field, global or container outlives its pool lifetime.
+func (w *poolWalker) checkStore(as *ast.AssignStmt, st pstate) {
+	if !st.live {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if !w.exprMentionsV(rhs) || i >= len(as.Lhs) {
+			continue
+		}
+		var what string
+		switch lhs := ast.Unparen(as.Lhs[i]).(type) {
+		case *ast.SelectorExpr:
+			if f := fieldOf(w.pass.Info, lhs); f != nil {
+				what = "struct field " + f.Name()
+			}
+		case *ast.IndexExpr:
+			what = "a map or slice element"
+		case *ast.Ident:
+			if obj := w.pass.Info.Uses[lhs]; obj != nil && obj.Parent() == w.pass.Pkg.Scope() {
+				what = "package-level variable " + lhs.Name
+			}
+		}
+		if what != "" && !w.seen[as.Pos()] {
+			w.seen[as.Pos()] = true
+			w.pass.Reportf(as.Pos(),
+				"pooled message %s stored in %s: the pool will recycle it behind this reference",
+				w.v.Name(), what)
+		}
+	}
+}
+
+func (w *poolWalker) isV(id *ast.Ident) bool {
+	return w.pass.Info.Uses[id] == w.v || w.pass.Info.Defs[id] == w.v
+}
+
+func (w *poolWalker) exprMentionsV(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && w.isV(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// scanBlockAfterRelease reports straight-line uses of a variable after
+// dnswire.ReleaseMessage(v) in the same block, including double
+// releases. Tracking stops at a rebinding of v.
+func scanBlockAfterRelease(pass *Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Name() != "ReleaseMessage" || fn.Pkg() == nil ||
+			!hasPathSuffix(fn.Pkg().Path(), "internal/dnswire") || len(call.Args) != 1 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v := pass.Info.Uses[id]
+		if v == nil {
+			continue
+		}
+		scanUsesAfter(pass, block.List[i+1:], v)
+	}
+}
+
+func scanUsesAfter(pass *Pass, stmts []ast.Stmt, v types.Object) {
+	for _, stmt := range stmts {
+		if as, ok := stmt.(*ast.AssignStmt); ok {
+			rebound := false
+			for _, lhs := range as.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok &&
+					(pass.Info.Uses[id] == v || pass.Info.Defs[id] == v) {
+					rebound = true
+				}
+			}
+			// The RHS still runs with the released value.
+			for _, rhs := range as.Rhs {
+				if reportUse(pass, rhs, v) {
+					return
+				}
+			}
+			if rebound {
+				return
+			}
+			continue
+		}
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+				fn := calleeFunc(pass.Info, call)
+				if fn != nil && fn.Name() == "ReleaseMessage" && fn.Pkg() != nil &&
+					hasPathSuffix(fn.Pkg().Path(), "internal/dnswire") && len(call.Args) == 1 {
+					if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.Info.Uses[id] == v {
+						pass.Reportf(call.Pos(), "message %s released twice", v.Name())
+						return
+					}
+				}
+			}
+		}
+		if reportUse(pass, stmt, v) {
+			return
+		}
+	}
+}
+
+func reportUse(pass *Pass, n ast.Node, v types.Object) bool {
+	reported := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if reported {
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+			pass.Reportf(id.Pos(), "use of message %s after dnswire.ReleaseMessage", v.Name())
+			reported = true
+		}
+		return !reported
+	})
+	return reported
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowIndex maps file → line → analyzer names allowed there. An allow
+// comment covers its own line (trailing form) and the next line
+// (own-line form), which is exactly the two placements the convention
+// permits.
+type allowIndex map[string]map[int][]string
+
+const allowMarker = "lint:allow"
+
+// buildAllowIndex scans every comment in the files for
+// `//lint:allow <analyzers> [justification]`.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := make(allowIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+				lines[pos.Line+1] = append(lines[pos.Line+1], names...)
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow extracts the analyzer list from one comment, or nil.
+func parseAllow(text string) []string {
+	i := strings.Index(text, allowMarker)
+	if i < 0 {
+		return nil
+	}
+	rest := text[i+len(allowMarker):]
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return nil // e.g. lint:allowother is not the marker
+	}
+	rest = strings.TrimSpace(rest)
+	list, _, _ := strings.Cut(rest, " ")
+	var names []string
+	for _, n := range strings.Split(list, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// allows reports whether analyzer name is suppressed at pos.
+func (idx allowIndex) allows(name string, pos token.Position) bool {
+	for _, n := range idx[pos.Filename][pos.Line] {
+		if n == name || n == "*" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+// Package atomicdata seeds mixed atomic/plain field access in both
+// forms the analyzer understands: function-style sync/atomic calls on
+// plain fields and the atomic.Int64-style wrapper types.
+package atomicdata
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed via atomic.AddInt64: plain access is a race
+	misses int64 // plain-only: fine
+	state  atomic.Int32
+}
+
+func (c *counters) recordHit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) snapshot() (int64, int64) {
+	return c.hits, c.misses // want `plain access to field hits`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `plain access to field hits`
+	c.misses = 0
+}
+
+func (c *counters) loadHits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) wrapperOK() int32 {
+	c.state.Store(3)
+	return c.state.Load()
+}
+
+func (c *counters) wrapperByAddress() *atomic.Int32 {
+	return &c.state
+}
+
+func (c *counters) wrapperCopied() atomic.Int32 {
+	return c.state // want `field state has type sync/atomic.Int32`
+}
+
+func (c *counters) wrapperAssigned(v atomic.Int32) {
+	c.state = v // want `field state has type sync/atomic.Int32`
+}

@@ -1,0 +1,89 @@
+// Package determdata runs under a fabricated import path ending in
+// internal/core, so the determinism analyzer treats it as a
+// deterministic package. It seeds wall-clock reads, global randomness
+// and order-leaking map ranges next to the sanctioned alternatives.
+package determdata
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/vclock"
+)
+
+// wallClock reads time directly instead of through the injected clock.
+func wallClock() time.Time {
+	return time.Now() // want `time.Now in deterministic package`
+}
+
+// elapsed uses time.Since, which reads the wall clock too.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic package`
+}
+
+// viaClock routes through the injected clock: sanctioned.
+func viaClock(c vclock.Clock) time.Time {
+	return c.Now()
+}
+
+// globalRand draws from the process-global, non-seeded source.
+func globalRand() int {
+	return rand.Intn(10) // want `global rand.Intn in deterministic package`
+}
+
+// seededRand draws from a caller-seeded source: sanctioned.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// keysUnsorted leaks map iteration order into the returned slice.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map appends to returned slice out without a sort`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted re-establishes a deterministic order: sanctioned.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dumpUnsorted writes in map iteration order.
+func dumpUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `write inside range over map`
+	}
+}
+
+// invert accumulates into another map: order-independent, sanctioned.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// suppressedTrailing documents a justified wall-clock read with the
+// trailing allow form.
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:allow determinism — golden test for the trailing suppression form
+}
+
+// suppressedOwnLine documents a justified wall-clock read with the
+// own-line allow form.
+func suppressedOwnLine() time.Time {
+	//lint:allow determinism — golden test for the own-line suppression form
+	return time.Now()
+}

@@ -1,0 +1,92 @@
+// Package exhaustivedata declares enum-style constant sets of both
+// underlying kinds and switches over them with and without full
+// coverage.
+package exhaustivedata
+
+// Phase is an integer enum like the repo's scan phases.
+type Phase int
+
+// Scan phases.
+const (
+	PhaseProbe Phase = iota
+	PhaseSweep
+	PhaseMerge
+)
+
+// Mode is a string enum.
+type Mode string
+
+// Modes.
+const (
+	ModeFast Mode = "fast"
+	ModeSafe Mode = "safe"
+)
+
+func phaseName(p Phase) string {
+	switch p { // want `switch over Phase misses PhaseMerge and has no default`
+	case PhaseProbe:
+		return "probe"
+	case PhaseSweep:
+		return "sweep"
+	}
+	return "?"
+}
+
+func phaseNameFull(p Phase) string {
+	switch p {
+	case PhaseProbe:
+		return "probe"
+	case PhaseSweep:
+		return "sweep"
+	case PhaseMerge:
+		return "merge"
+	}
+	return "?"
+}
+
+func phaseNameDefault(p Phase) string {
+	switch p {
+	case PhaseProbe:
+		return "probe"
+	default:
+		return "other"
+	}
+}
+
+func modeQPS(m Mode) int {
+	switch m { // want `switch over Mode misses ModeSafe and has no default`
+	case ModeFast:
+		return 1000
+	}
+	return 10
+}
+
+// aliasCovered pins value-based coverage: an aliased constant counts.
+const PhaseFirst = PhaseProbe
+
+func aliased(p Phase) int {
+	switch p {
+	case PhaseFirst, PhaseSweep, PhaseMerge:
+		return 1
+	}
+	return 0
+}
+
+// untypedSwitch is out of scope: plain ints are not an enum set.
+func untypedSwitch(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// suppressed documents an intentionally partial switch.
+func suppressed(p Phase) bool {
+	//lint:allow exhaustive — only the probe phase matters here
+	switch p {
+	case PhaseProbe:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+// Package poolcheckdata seeds every poolcheck violation class plus the
+// ownership patterns that must stay quiet. Each `// want "regex"`
+// comment is a diagnostic the golden test requires on that line.
+package poolcheckdata
+
+import (
+	"github.com/relay-networks/privaterelay/internal/dnswire"
+)
+
+var retained *dnswire.Message
+
+type holder struct {
+	msg *dnswire.Message
+}
+
+// leakOnErrorPath releases on the happy path only.
+func leakOnErrorPath(fail bool) {
+	m := dnswire.AcquireMessage() // want "not released on every path"
+	if fail {
+		return
+	}
+	dnswire.ReleaseMessage(m)
+}
+
+// discarded drops the acquired message on the floor.
+func discarded() {
+	dnswire.AcquireMessage() // want "result of dnswire.AcquireMessage discarded"
+}
+
+// useAfterRelease touches the message after handing it back.
+func useAfterRelease() uint16 {
+	m := dnswire.AcquireMessage()
+	dnswire.ReleaseMessage(m)
+	return m.Header.ID // want "use of message m after dnswire.ReleaseMessage"
+}
+
+// doubleRelease returns the message to the pool twice.
+func doubleRelease() {
+	m := dnswire.AcquireMessage()
+	dnswire.ReleaseMessage(m)
+	dnswire.ReleaseMessage(m) // want "message m released twice"
+}
+
+// storeInField retains a pooled message beyond its lifetime.
+func storeInField(h *holder) {
+	m := dnswire.AcquireMessage()
+	h.msg = m // want "pooled message m stored in struct field msg"
+	dnswire.ReleaseMessage(m)
+}
+
+// storeInGlobal retains a pooled message in package state.
+func storeInGlobal() {
+	m := dnswire.AcquireMessage()
+	retained = m // want "pooled message m stored in package-level variable retained"
+	dnswire.ReleaseMessage(m)
+}
+
+// leakInLoop acquires per iteration without releasing.
+func leakInLoop(n int) {
+	for i := 0; i < n; i++ {
+		m := dnswire.AcquireMessage() // want "not released on every path"
+		m.Header.ID = uint16(i)
+	}
+}
+
+// --- patterns that must stay quiet ---
+
+// releasedBothPaths is the canonical pairing.
+func releasedBothPaths(fail bool) {
+	m := dnswire.AcquireMessage()
+	if fail {
+		dnswire.ReleaseMessage(m)
+		return
+	}
+	m.Header.ID = 7
+	dnswire.ReleaseMessage(m)
+}
+
+// deferredRelease covers every exit.
+func deferredRelease(fail bool) {
+	m := dnswire.AcquireMessage()
+	defer dnswire.ReleaseMessage(m)
+	if fail {
+		return
+	}
+	m.Header.ID = 9
+}
+
+// transferByReturn hands ownership to the caller.
+func transferByReturn() *dnswire.Message {
+	m := dnswire.AcquireMessage()
+	m.Header.ID = 1
+	return m
+}
+
+// releaseInCallee is the interprocedural case: the message is acquired
+// here and released by consume, via finish, two calls down.
+func releaseInCallee() {
+	m := dnswire.AcquireMessage()
+	consume(m)
+}
+
+func consume(m *dnswire.Message) {
+	m.Header.Response = true
+	finish(m)
+}
+
+func finish(m *dnswire.Message) {
+	dnswire.ReleaseMessage(m)
+}
+
+// loopReleaseEachIteration mirrors the UDP client's receive loop.
+func loopReleaseEachIteration(bad func(*dnswire.Message) bool) *dnswire.Message {
+	for {
+		m := dnswire.AcquireMessage()
+		if bad(m) {
+			dnswire.ReleaseMessage(m)
+			continue
+		}
+		return m
+	}
+}
+
+// switchRelease releases in every branch of a switch.
+func switchRelease(kind int) {
+	m := dnswire.AcquireMessage()
+	switch kind {
+	case 0:
+		dnswire.ReleaseMessage(m)
+	default:
+		dnswire.ReleaseMessage(m)
+	}
+}
+
+// suppressedLeak documents an intentional leak; the allow comment must
+// silence the analyzer.
+func suppressedLeak() {
+	m := dnswire.AcquireMessage() //lint:allow poolcheck — intentional: exercised by the suppression golden test
+	m.Header.ID = 3
+}

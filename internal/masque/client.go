@@ -132,6 +132,8 @@ func (c *Client) demux(br *bufio.Reader) {
 				s.deliver(f.Payload)
 			case FrameClose:
 				s.closeRead()
+			default:
+				// Unknown frame types on a stream are dropped.
 			}
 		case u != nil:
 			switch f.Type {
@@ -144,6 +146,8 @@ func (c *Client) demux(br *bufio.Reader) {
 				u.deliver(f.Payload)
 			case FrameClose:
 				u.closeInbox()
+			default:
+				// Unknown frame types on a UDP flow are dropped.
 			}
 		}
 	}

@@ -61,8 +61,9 @@ func (t FrameType) String() string {
 		return "DATA"
 	case FrameClose:
 		return "CLOSE"
+	default:
+		return fmt.Sprintf("FRAME%d", uint8(t))
 	}
-	return fmt.Sprintf("FRAME%d", uint8(t))
 }
 
 // Frame is one protocol unit. StreamID multiplexes tunnel streams; frames

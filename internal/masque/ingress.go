@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/relay-networks/privaterelay/internal/vclock"
 )
 
 // Dialer abstracts outbound connections so deployments can interpose
@@ -42,6 +44,9 @@ type Ingress struct {
 	// AllowedEgress optionally restricts which egress addresses clients
 	// may request; nil allows any.
 	AllowedEgress map[string]bool
+	// Clock stamps ConnRecord.Start; nil uses the wall clock. Injecting
+	// a VirtualClock makes the connection log reproducible in tests.
+	Clock vclock.Clock
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -127,7 +132,7 @@ func (ing *Ingress) handle(client net.Conn) {
 	ing.records = append(ing.records, ConnRecord{
 		ClientAddr: client.RemoteAddr().String(),
 		EgressAddr: egressAddr,
-		Start:      time.Now(),
+		Start:      ing.now(),
 	})
 	ing.mu.Unlock()
 
@@ -176,4 +181,12 @@ func parseAuth(payload []byte) (token, egressAddr string, ok bool) {
 // String renders a record for logs.
 func (r ConnRecord) String() string {
 	return fmt.Sprintf("client=%s egress=%s", r.ClientAddr, r.EgressAddr)
+}
+
+// now returns the ingress clock's current time (wall clock when unset).
+func (ing *Ingress) now() time.Time {
+	if ing.Clock != nil {
+		return ing.Clock.Now()
+	}
+	return vclock.WallClock{}.Now()
 }

@@ -85,7 +85,7 @@ func (eg *Egress) handleConnectUDP(f *Frame, writeFrame func(*Frame) error, asso
 	go func(id uint32, pc net.PacketConn) {
 		buf := make([]byte, 64*1024)
 		for {
-			_ = pc.SetReadDeadline(time.Now().Add(30 * time.Second))
+			_ = pc.SetReadDeadline(time.Now().Add(30 * time.Second)) //lint:allow determinism — kernel socket deadlines need wall time, not the virtual clock
 			n, _, err := pc.ReadFrom(buf)
 			if err != nil {
 				_ = writeFrame(&Frame{Type: FrameClose, StreamID: id})

@@ -192,6 +192,8 @@ func (r *Resolver) Lookup(ctx context.Context, name string, qtype dnswire.Type, 
 			return r.synthesize(name, qtype, dnswire.RCodeNoError, nil), nil
 		}
 		return r.synthesize(name, qtype, dnswire.RCodeNoError, []dnswire.Record{rec}), nil
+	default:
+		// PolicyNone: resolve normally below.
 	}
 
 	key := cacheKey(name, qtype, clientAddr, r.ForwardECS)

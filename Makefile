@@ -1,8 +1,15 @@
 GO ?= go
 
-.PHONY: check vet lint build test race alloc bench bench-json chaos
+# Where bench-json writes its output; bench-gate points this at a temp
+# directory to get a fresh run without clobbering the committed files.
+BENCH_DIR ?= .
 
-check: vet lint build race alloc bench
+.PHONY: check vet lint build test race alloc bench bench-json bench-gate chaos
+
+# BENCH_GATE=1 appends the benchmark regression gate (a full fresh
+# bench-json run — minutes, not seconds), so plain `make check` stays
+# fast. CI always runs the gate as its own job.
+check: vet lint build race alloc bench $(if $(filter 1,$(BENCH_GATE)),bench-gate)
 
 vet:
 	$(GO) vet ./...
@@ -48,9 +55,19 @@ bench:
 # codec, the authoritative handler, both transports, and the scan
 # throughput bench that multiplies them.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkAttribute$$|BenchmarkAtlasCampaign$$|BenchmarkTable3$$|BenchmarkParseCSV$$' -benchtime 10x . | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
-	@cat BENCH_pipeline.json
+	$(GO) test -run '^$$' -bench 'BenchmarkAttribute$$|BenchmarkAtlasCampaign$$|BenchmarkTable3$$|BenchmarkParseCSV$$' -benchtime 10x . | $(GO) run ./cmd/benchjson > $(BENCH_DIR)/BENCH_pipeline.json
+	@cat $(BENCH_DIR)/BENCH_pipeline.json
 	{ $(GO) test -run '^$$' -bench 'BenchmarkEncodeECSQuery$$|BenchmarkEncoderReuse$$|BenchmarkDecodeResponse$$|BenchmarkDecodeInto$$' -benchtime 2000x -benchmem ./internal/dnswire/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkAuthServerHandle$$|BenchmarkExchangeMemTransport$$|BenchmarkExchangeUDP$$' -benchtime 2000x -benchmem ./internal/dnsserver/ ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkScanThroughput$$' -benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchjson > BENCH_exchange.json
-	@cat BENCH_exchange.json
+	  $(GO) test -run '^$$' -bench 'BenchmarkScanThroughput$$' -benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchjson > $(BENCH_DIR)/BENCH_exchange.json
+	@cat $(BENCH_DIR)/BENCH_exchange.json
+
+# Benchmark regression gate: a fresh bench-json run into a temp
+# directory, diffed against the committed baselines. cmd/benchdiff
+# exits 1 on any >10% throughput or ns/op regression, which fails the
+# chained recipe (and so the CI bench-gate job).
+bench-gate:
+	@dir=$$(mktemp -d) && \
+	$(MAKE) BENCH_DIR=$$dir bench-json && \
+	$(GO) run ./cmd/benchdiff BENCH_pipeline.json $$dir/BENCH_pipeline.json && \
+	$(GO) run ./cmd/benchdiff BENCH_exchange.json $$dir/BENCH_exchange.json

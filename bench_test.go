@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
+	"runtime/metrics"
 	"sync"
 	"testing"
 
@@ -193,7 +194,10 @@ func BenchmarkS1ECSScanApril(b *testing.B) {
 // BenchmarkScanThroughput measures the scan hot path itself: subnets
 // processed per second on the in-memory transport at several concurrency
 // levels. The paper's live scan took ≈40 h for 12M /24s; this benchmark
-// tracks how far the pipeline is from wire speed.
+// tracks how far the pipeline is from wire speed. Alongside throughput
+// it reports mutex-wait nanoseconds per subnet from runtime/metrics, so
+// the trajectory files (BENCH_exchange.json) show whether a scaling
+// change came from contention or from per-op cost.
 func BenchmarkScanThroughput(b *testing.B) {
 	e := env(b)
 	for _, conc := range []int{1, 8, 64} {
@@ -208,6 +212,7 @@ func BenchmarkScanThroughput(b *testing.B) {
 				Concurrency:  conc,
 			}
 			var subnets int64
+			waitBefore := mutexWaitSeconds()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ds, err := core.Scan(context.Background(), cfg)
@@ -217,8 +222,24 @@ func BenchmarkScanThroughput(b *testing.B) {
 				subnets += ds.Stats.SubnetsTotal
 			}
 			b.ReportMetric(float64(subnets)/b.Elapsed().Seconds(), "subnets/sec")
+			if waited := mutexWaitSeconds() - waitBefore; subnets > 0 && waited >= 0 {
+				b.ReportMetric(waited*1e9/float64(subnets), "contended-ns/subnet")
+			}
 		})
 	}
+}
+
+// mutexWaitSeconds reads the process-wide cumulative mutex wait time.
+// The counter covers every goroutine, so per-benchmark deltas are only
+// meaningful because each sub-benchmark runs its scans to completion
+// before sampling again.
+func mutexWaitSeconds() float64 {
+	sample := []metrics.Sample{{Name: "/sync/mutex/wait/total:seconds"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindFloat64 {
+		return 0
+	}
+	return sample[0].Value.Float64()
 }
 
 // BenchmarkS2AtlasValidation runs the A-record validation campaign and

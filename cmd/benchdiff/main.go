@@ -1,0 +1,207 @@
+// Command benchdiff gates the benchmark trajectory: it compares a fresh
+// benchjson run against a committed baseline (BENCH_exchange.json,
+// BENCH_pipeline.json) and exits non-zero when any shared benchmark
+// regressed beyond the threshold — throughput (items/sec) down, or
+// ns/op up, by more than -threshold percent. CI runs it in the
+// bench-gate job; locally it hides behind `make check BENCH_GATE=1`.
+//
+// Usage:
+//
+//	benchdiff [-threshold 10] baseline.json fresh.json
+//
+// Benchmarks present in only one file are listed but never fail the
+// gate: adding or renaming a benchmark should not require a baseline
+// update in the same commit to keep CI green.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Result mirrors cmd/benchjson's output entry. Only the fields the
+// gate compares are decoded; unknown keys are ignored so the formats
+// can grow independently.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+	ItemsUnit   string  `json:"items_unit"`
+}
+
+// verdict classifies one benchmark's old→new movement.
+type verdict int
+
+const (
+	verdictOK verdict = iota
+	verdictImproved
+	verdictRegressed
+	verdictOnlyBaseline
+	verdictOnlyFresh
+)
+
+func (v verdict) String() string {
+	switch v {
+	case verdictImproved:
+		return "improved"
+	case verdictRegressed:
+		return "REGRESSED"
+	case verdictOnlyBaseline:
+		return "only in baseline"
+	case verdictOnlyFresh:
+		return "only in fresh run"
+	default:
+		return "ok"
+	}
+}
+
+// row is one line of the comparison table.
+type row struct {
+	Name    string
+	Metric  string  // "subnets/sec", "ns/op", ...
+	Old     float64
+	New     float64
+	Delta   float64 // percent, sign follows the raw metric direction
+	Verdict verdict
+}
+
+// diff compares fresh against baseline benchmark by benchmark.
+// Throughput metrics gate on relative loss, ns/op on relative growth;
+// a benchmark reporting items/sec is judged on that alone (its ns/op
+// moves inversely and would double-count the same change). The bool
+// reports whether any row regressed beyond thresholdPct.
+func diff(baseline, fresh map[string]Result, thresholdPct float64) ([]row, bool) {
+	names := map[string]bool{}
+	for n := range baseline {
+		names[n] = true
+	}
+	for n := range fresh {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var rows []row
+	regressed := false
+	for _, name := range ordered {
+		old, inOld := baseline[name]
+		cur, inNew := fresh[name]
+		switch {
+		case !inNew:
+			rows = append(rows, row{Name: name, Verdict: verdictOnlyBaseline})
+			continue
+		case !inOld:
+			rows = append(rows, row{Name: name, Verdict: verdictOnlyFresh})
+			continue
+		}
+		r := row{Name: name}
+		if old.ItemsPerSec > 0 && cur.ItemsPerSec > 0 {
+			unit := old.ItemsUnit
+			if unit == "" {
+				unit = "items"
+			}
+			r.Metric = unit + "/sec"
+			r.Old, r.New = old.ItemsPerSec, cur.ItemsPerSec
+			r.Delta = (cur.ItemsPerSec - old.ItemsPerSec) / old.ItemsPerSec * 100
+			if r.Delta < -thresholdPct {
+				r.Verdict = verdictRegressed
+			} else if r.Delta > thresholdPct {
+				r.Verdict = verdictImproved
+			}
+		} else if old.NsPerOp > 0 && cur.NsPerOp > 0 {
+			r.Metric = "ns/op"
+			r.Old, r.New = old.NsPerOp, cur.NsPerOp
+			r.Delta = (cur.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+			if r.Delta > thresholdPct {
+				r.Verdict = verdictRegressed
+			} else if r.Delta < -thresholdPct {
+				r.Verdict = verdictImproved
+			}
+		}
+		if r.Verdict == verdictRegressed {
+			regressed = true
+		}
+		rows = append(rows, r)
+	}
+	return rows, regressed
+}
+
+// formatTable renders rows with aligned columns for terminal reading.
+func formatTable(rows []row) string {
+	var sb strings.Builder
+	nameW := len("benchmark")
+	for _, r := range rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s  %-12s  %s\n",
+		nameW, "benchmark", "baseline", "fresh", "delta", "metric", "verdict")
+	for _, r := range rows {
+		if r.Metric == "" {
+			fmt.Fprintf(&sb, "%-*s  %14s  %14s  %8s  %-12s  %s\n",
+				nameW, r.Name, "-", "-", "-", "-", r.Verdict)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-*s  %14s  %14s  %+7.1f%%  %-12s  %s\n",
+			nameW, r.Name, formatNum(r.Old), formatNum(r.New), r.Delta, r.Metric, r.Verdict)
+	}
+	return sb.String()
+}
+
+// formatNum prints a measurement compactly without scientific notation.
+func formatNum(v float64) string {
+	if v >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// readResults decodes one benchjson file.
+func readResults(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]Result{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] baseline.json fresh.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := readResults(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := readResults(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	rows, regressed := diff(baseline, fresh, *threshold)
+	os.Stdout.WriteString(formatTable(rows))
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% against %s\n",
+			*threshold, flag.Arg(0))
+		os.Exit(1)
+	}
+}

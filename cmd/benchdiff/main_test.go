@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureBaseline mimics a committed BENCH_exchange.json: a throughput
+// benchmark, a ns/op-only benchmark, and one that the fresh run drops.
+const fixtureBaseline = `{
+  "BenchmarkScanThroughput/conc-1": {"ns_per_op": 40000000, "items_per_sec": 644249, "items_unit": "subnets"},
+  "BenchmarkScanThroughput/conc-64": {"ns_per_op": 9000000, "items_per_sec": 3000000, "items_unit": "subnets"},
+  "BenchmarkAuthServerHandle": {"ns_per_op": 500, "bytes_per_op": 0, "allocs_per_op": 0},
+  "BenchmarkRetired": {"ns_per_op": 100}
+}`
+
+func writeFixture(t *testing.T, name, data string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func load(t *testing.T, data string) map[string]Result {
+	t.Helper()
+	res, err := readResults(writeFixture(t, "bench.json", data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGateFailsOnSyntheticRegression is the acceptance check for the
+// gate itself: a >10% throughput drop and a >10% ns/op growth must both
+// trip it.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	baseline := load(t, fixtureBaseline)
+	fresh := load(t, `{
+	  "BenchmarkScanThroughput/conc-1": {"ns_per_op": 46000000, "items_per_sec": 560000, "items_unit": "subnets"},
+	  "BenchmarkScanThroughput/conc-64": {"ns_per_op": 9000000, "items_per_sec": 3000000, "items_unit": "subnets"},
+	  "BenchmarkAuthServerHandle": {"ns_per_op": 580}
+	}`)
+	rows, regressed := diff(baseline, fresh, 10)
+	if !regressed {
+		t.Fatal("13% throughput drop and 16% ns/op growth did not trip the gate")
+	}
+	byName := map[string]row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if v := byName["BenchmarkScanThroughput/conc-1"].Verdict; v != verdictRegressed {
+		t.Errorf("conc-1 verdict = %v, want REGRESSED", v)
+	}
+	if v := byName["BenchmarkAuthServerHandle"].Verdict; v != verdictRegressed {
+		t.Errorf("AuthServerHandle verdict = %v, want REGRESSED", v)
+	}
+	if v := byName["BenchmarkScanThroughput/conc-64"].Verdict; v != verdictOK {
+		t.Errorf("unchanged conc-64 verdict = %v, want ok", v)
+	}
+	if v := byName["BenchmarkRetired"].Verdict; v != verdictOnlyBaseline {
+		t.Errorf("dropped benchmark verdict = %v, want only-in-baseline", v)
+	}
+}
+
+// TestGatePassesWithinThreshold: movement inside ±10% — including a
+// 9.9% throughput dip — must not fail the gate.
+func TestGatePassesWithinThreshold(t *testing.T) {
+	baseline := load(t, fixtureBaseline)
+	fresh := load(t, `{
+	  "BenchmarkScanThroughput/conc-1": {"ns_per_op": 44000000, "items_per_sec": 580469, "items_unit": "subnets"},
+	  "BenchmarkScanThroughput/conc-64": {"ns_per_op": 8000000, "items_per_sec": 3400000, "items_unit": "subnets"},
+	  "BenchmarkAuthServerHandle": {"ns_per_op": 540},
+	  "BenchmarkNewlyAdded": {"ns_per_op": 77}
+	}`)
+	rows, regressed := diff(baseline, fresh, 10)
+	if regressed {
+		t.Fatalf("gate tripped inside threshold:\n%s", formatTable(rows))
+	}
+	for _, r := range rows {
+		if r.Name == "BenchmarkScanThroughput/conc-64" && r.Verdict != verdictImproved {
+			t.Errorf("13%% throughput gain verdict = %v, want improved", r.Verdict)
+		}
+		if r.Name == "BenchmarkNewlyAdded" && r.Verdict != verdictOnlyFresh {
+			t.Errorf("new benchmark verdict = %v, want only-in-fresh", r.Verdict)
+		}
+	}
+}
+
+// TestThroughputJudgedOverNsPerOp: when a benchmark reports items/sec,
+// its ns/op column is ignored — the two move inversely and would
+// double-report one change.
+func TestThroughputJudgedOverNsPerOp(t *testing.T) {
+	baseline := load(t, `{"B": {"ns_per_op": 100, "items_per_sec": 1000, "items_unit": "probes"}}`)
+	fresh := load(t, `{"B": {"ns_per_op": 400, "items_per_sec": 1000, "items_unit": "probes"}}`)
+	rows, regressed := diff(baseline, fresh, 10)
+	if regressed {
+		t.Fatal("flat throughput failed the gate on its ns/op shadow metric")
+	}
+	if rows[0].Metric != "probes/sec" {
+		t.Errorf("judged on %q, want probes/sec", rows[0].Metric)
+	}
+}
+
+// TestFormatTable pins the human-readable shape: header, aligned
+// columns, explicit verdict words.
+func TestFormatTable(t *testing.T) {
+	rows := []row{
+		{Name: "BenchmarkA", Metric: "subnets/sec", Old: 644249, New: 560000, Delta: -13.1, Verdict: verdictRegressed},
+		{Name: "BenchmarkB", Verdict: verdictOnlyBaseline},
+	}
+	out := formatTable(rows)
+	for _, want := range []string{"benchmark", "baseline", "fresh", "REGRESSED", "only in baseline", "-13.1%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReadResultsRejectsGarbage: a truncated file is a hard error, not
+// an empty (and therefore silently passing) baseline.
+func TestReadResultsRejectsGarbage(t *testing.T) {
+	if _, err := readResults(writeFixture(t, "bad.json", `{"B": {`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := readResults(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -25,6 +25,9 @@ type Result struct {
 	ItemsUnit   string   `json:"items_unit,omitempty"`
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// ContendedNsPerItem is the scan benchmarks' mutex-wait metric
+	// (`contended-ns/subnet`): why scaling changed, not just whether.
+	ContendedNsPerItem *float64 `json:"contended_ns_per_item,omitempty"`
 }
 
 func main() {
@@ -58,6 +61,9 @@ func main() {
 			case strings.HasSuffix(unit, "/sec") && !strings.HasPrefix(unit, "MB"):
 				res.ItemsPerSec = val
 				res.ItemsUnit = strings.TrimSuffix(unit, "/sec")
+			case strings.HasPrefix(unit, "contended-ns/"):
+				v := val
+				res.ContendedNsPerItem = &v
 			case unit == "B/op":
 				v := val
 				res.BytesPerOp = &v

@@ -12,6 +12,7 @@ import (
 	"net/netip"
 	"testing"
 
+	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
 	"github.com/relay-networks/privaterelay/internal/faults"
 	"github.com/relay-networks/privaterelay/internal/netsim"
@@ -33,14 +34,20 @@ func TestProcessSubnetAllocBudget(t *testing.T) {
 	cfg.RespectScope = false
 	cfg.Clock = faults.WallClock{}
 
+	idx := cfg.Attribution.Index()
 	st := &scanState{
 		cfg:     &cfg,
-		attr:    cfg.Attribution.Snapshot(),
+		idx:     idx,
 		clock:   cfg.Clock,
-		limiter: newTokenBucket(cfg.QPS, cfg.Clock),
+		limiter: newTokenBucket(cfg.QPS, cfg.PacerBatch, cfg.Clock),
 		breaker: newCircuitBreaker(cfg.Breaker, cfg.Clock),
 	}
-	worker := &scanWorker{st: st, sh: newScanShard(), budget: -1}
+	aux := &workerAux{
+		origins4: make(map[uint32]bgp.ASN),
+		origins:  make(map[netip.Addr]bgp.ASN),
+		cursor:   idx.Cursor(),
+	}
+	worker := &scanWorker{st: st, sh: newScanShard(), aux: aux, budget: -1}
 	ref := subnetRef{p: clientSubnetPrefix(w, 0)}
 	ctx := context.Background()
 

@@ -79,6 +79,12 @@ type ScanConfig struct {
 	Retries int
 	// QPS rate-limits the client side; zero disables limiting.
 	QPS float64
+	// PacerBatch is how many send-slots a worker claims from the pacer
+	// per CAS (default 16). Larger tranches cut cross-worker contention
+	// on the pacer's atomic timestamp; each slot is still slept to
+	// individually, so the long-run rate stays exactly QPS. Unused slots
+	// are returned when a pass drains.
+	PacerBatch int
 
 	// Backoff paces re-attempts; the zero value disables backoff sleeps.
 	Backoff BackoffConfig
@@ -180,42 +186,131 @@ var ErrNoExchanger = errors.New("core: scan config has no exchanger")
 // cuts channel operations by the batch factor.
 const workBatchSize = 64
 
-// skipIndex is the scope-suppression trie behind an epoch-published
-// read path. Lookups load the current immutable snapshot from an
-// atomic.Pointer and walk it without any lock; inserts — rare, one per
-// answer scope shorter than /24 — serialize on a small mutex, clone the
-// snapshot, add the new scope and publish the successor. The value
-// stored with each scope is the operator AS of the covering answer, so
-// skipped subnets can be accounted without re-querying.
-type skipIndex struct {
-	mu   sync.Mutex
-	snap atomic.Pointer[iputil.Trie[bgp.ASN]]
+// scopeSpan is one published suppression scope as an inclusive IPv4
+// address range, with the operator AS of the covering answer so skipped
+// subnets can be accounted without re-querying.
+type scopeSpan struct {
+	lo, hi uint32
+	op     bgp.ASN
+	pfx    netip.Prefix
 }
 
-// lookup reports the covering scope's operator, lock-free.
-func (s *skipIndex) lookup(addr netip.Addr) (bgp.ASN, bool) {
-	t := s.snap.Load()
-	if t == nil {
+// skipIndex is the scope-suppression index behind an epoch-published
+// read path. The published snapshot is a sorted, immutable []scopeSpan:
+// scopes come from covering-route answers over disjoint allocations, so
+// spans never nest and a lookup is a binary search — seeded by a
+// per-worker hint, since each worker sweeps the universe in ascending
+// order. Lookups load the snapshot from an atomic.Pointer without any
+// lock; inserts — rare, one per answer scope shorter than /24 —
+// serialize on a small mutex, build the successor slice and publish it.
+type skipIndex struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[[]scopeSpan]
+}
+
+// addrKey32 packs a (canonical) IPv4 address for span comparison.
+func addrKey32(addr netip.Addr) (uint32, bool) {
+	if addr.Is4In6() {
+		addr = addr.Unmap()
+	}
+	if !addr.Is4() {
 		return 0, false
 	}
-	_, op, ok := t.Lookup(addr)
-	return op, ok
+	a4 := addr.As4()
+	return uint32(a4[0])<<24 | uint32(a4[1])<<16 | uint32(a4[2])<<8 | uint32(a4[3]), true
+}
+
+// spanRange returns p's inclusive IPv4 address range.
+func spanRange(p netip.Prefix) (lo, hi uint32, ok bool) {
+	lo, ok = addrKey32(p.Addr())
+	if !ok {
+		return 0, 0, false
+	}
+	bits := p.Bits()
+	if bits < 0 || bits > 32 {
+		return 0, 0, false
+	}
+	mask := ^uint32(0) >> uint(bits) // host bits (bits==32 → 0)
+	if bits == 0 {
+		mask = ^uint32(0)
+	}
+	lo &^= mask
+	return lo, lo | mask, true
+}
+
+// lookup reports the covering scope's operator, lock-free. hint is the
+// caller's last matching span position; span facts are stable across
+// snapshots (spans are only ever added, never moved relative to the
+// addresses they cover... a hinted span either still covers addr or the
+// bounds check fails and the search runs), so a stale hint can only
+// cost the binary search, never a wrong answer.
+func (s *skipIndex) lookup(addr netip.Addr, hint *int) (bgp.ASN, bool) {
+	sp := s.snap.Load()
+	if sp == nil {
+		return 0, false
+	}
+	spans := *sp
+	a, ok := addrKey32(addr)
+	if !ok {
+		return 0, false
+	}
+	if h := *hint; h >= 0 && h < len(spans) && spans[h].lo <= a && a <= spans[h].hi {
+		return spans[h].op, true
+	}
+	// Rightmost span with lo <= a.
+	lo, hi := 0, len(spans)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if spans[mid].lo <= a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 || a > spans[lo-1].hi {
+		return 0, false
+	}
+	*hint = lo - 1
+	return spans[lo-1].op, true
 }
 
 // insert publishes a new snapshot containing p. It reports whether p was
-// newly inserted, giving exactly-once semantics per scope prefix.
+// newly inserted, giving exactly-once semantics per scope prefix; a
+// prefix overlapping an existing span is not fresh (scopes are disjoint
+// covering routes, so an overlap is the same scope re-answered).
 func (s *skipIndex) insert(p netip.Prefix, op bgp.ASN) bool {
+	lo, hi, ok := spanRange(p)
+	if !ok {
+		return false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur := s.snap.Load()
-	if cur != nil {
-		if _, ok := cur.Get(p); ok {
-			return false
+	var spans []scopeSpan
+	if cur := s.snap.Load(); cur != nil {
+		spans = *cur
+	}
+	// Insertion point: first span starting after lo.
+	j, n := 0, len(spans)
+	for j < n {
+		mid := int(uint(j+n) >> 1)
+		if spans[mid].lo <= lo {
+			j = mid + 1
+		} else {
+			n = mid
 		}
 	}
-	next := cur.Clone()
-	next.Insert(p, op)
-	s.snap.Store(next)
+	i := j
+	if i > 0 && spans[i-1].hi >= lo {
+		return false
+	}
+	if i < len(spans) && spans[i].lo <= hi {
+		return false
+	}
+	next := make([]scopeSpan, 0, len(spans)+1)
+	next = append(next, spans[:i]...)
+	next = append(next, scopeSpan{lo: lo, hi: hi, op: op, pfx: p})
+	next = append(next, spans[i:]...)
+	s.snap.Store(&next)
 	return true
 }
 
@@ -280,11 +375,78 @@ func (sh *scanShard) absorb(o *scanShard) {
 	sh.stAttempts += o.stAttempts
 }
 
+// workerAux is a worker's private lookup state, persisted across passes
+// (unlike the per-pass scanWorker): the answer-address origin memo, the
+// galloping attribution cursor, the scope-index search hint and the
+// pacer grant. Nothing in it is shared, so the steady-state loop never
+// touches cross-worker memory for lookups.
+type workerAux struct {
+	// origins4/origins memoize attribution of answer addresses (IPv4
+	// keyed by packed uint32 — far cheaper to probe than a netip.Addr
+	// map). Answers repeat heavily (one fleet of ~1700 addresses serves
+	// the whole universe), so after warm-up every record resolves with
+	// one small inlined map probe instead of a routing-index search.
+	origins4 map[uint32]bgp.ASN
+	origins  map[netip.Addr]bgp.ASN
+	// cursor resolves each subnet's own client AS. Worker subnet
+	// sequences ascend, so the cursor's gallop replaces a full binary
+	// search with a few neighbor probes.
+	cursor bgp.Cursor
+	// skipHint seeds the scope-span binary search with the last hit.
+	skipHint int
+	// Route-range accounting memo (see scanShard.account): the address
+	// range of the last covering client route and the per-operator
+	// counter map it resolved to, valid only for shard accSh.
+	accSh        *scanShard
+	accLo, accHi uint32
+	accOps       map[bgp.ASN]int64
+	// grant is the worker's outstanding pacer tranche.
+	grant pacerGrant
+}
+
+// foldAddr attributes one answer address and enters it into the shard's
+// address ledger, memoizing both: after this worker's first sight of an
+// address, later folds are a single inlined uint32 probe with no
+// writes (the memo is only ever filled alongside a ledger write, so a
+// hit proves the address is already in this worker's shard).
+func (w *scanWorker) foldAddr(sh *scanShard, addr netip.Addr) bgp.ASN {
+	if addr.Is4() {
+		a4 := addr.As4()
+		key := uint32(a4[0])<<24 | uint32(a4[1])<<16 | uint32(a4[2])<<8 | uint32(a4[3])
+		if as, ok := w.aux.origins4[key]; ok {
+			return as
+		}
+		as, _ := w.st.idx.Origin(addr)
+		w.aux.origins4[key] = as
+		sh.addrs[addr] = as
+		return as
+	}
+	if as, ok := w.aux.origins[addr]; ok {
+		return as
+	}
+	as, _ := w.st.idx.Origin(addr)
+	w.aux.origins[addr] = as
+	sh.addrs[addr] = as
+	return as
+}
+
 // account attributes one served /24 to the subnet's own client AS under
-// the given operator.
-func (sh *scanShard) account(attr *bgp.Reader, subnet netip.Prefix, operator bgp.ASN) {
-	clientAS, ok := attr.Origin(subnet.Addr())
-	if !ok {
+// the given operator. Consecutive subnets overwhelmingly share one
+// covering client route (routes span 4–1024 /24s), so the last route's
+// address range and its per-operator counter map are memoized in the
+// worker aux: the steady state is one range check and one counter
+// bump. The memo is bound to the shard whose map it points into and
+// invalidated when the shard changes (checkpoint mode hands a worker a
+// fresh mini-shard per batch).
+func (sh *scanShard) account(w *scanWorker, subnet netip.Prefix, operator bgp.ASN) {
+	aux := w.aux
+	a, ok := addrKey32(subnet.Addr())
+	if ok && sh == aux.accSh && a >= aux.accLo && a <= aux.accHi {
+		aux.accOps[operator]++
+		return
+	}
+	route, clientAS, routed := aux.cursor.CoveringPrefix(subnet)
+	if !routed {
 		return
 	}
 	ops := sh.serving[clientAS]
@@ -293,22 +455,26 @@ func (sh *scanShard) account(attr *bgp.Reader, subnet netip.Prefix, operator bgp
 		sh.serving[clientAS] = ops
 	}
 	ops[operator]++
+	if lo, hi, spanned := spanRange(route); ok && spanned {
+		aux.accSh, aux.accLo, aux.accHi, aux.accOps = sh, lo, hi, ops
+	}
 }
 
 // skipCovered handles a subnet suppressed by a covering scope: the
 // covering answer serves it too, so it is accounted to its own client AS
 // under the operator recorded with the scope entry — the accounting a
 // direct query would have produced, without sending one.
-func (sh *scanShard) skipCovered(attr *bgp.Reader, subnet netip.Prefix, operator bgp.ASN) {
+func (sh *scanShard) skipCovered(w *scanWorker, subnet netip.Prefix, operator bgp.ASN) {
 	sh.skipped++
-	sh.account(attr, subnet, operator)
+	sh.account(w, subnet, operator)
 }
 
 // record folds one successful response into the shard.
-func (sh *scanShard) record(cfg *ScanConfig, attr *bgp.Reader, subnet netip.Prefix, resp *dnswire.Message, skip *skipIndex, global *atomic.Pointer[bgp.ASN]) {
+func (sh *scanShard) record(w *scanWorker, subnet netip.Prefix, resp *dnswire.Message) {
 	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answers) == 0 {
 		return
 	}
+	st, cfg := w.st, w.st.cfg
 	var operator bgp.ASN
 	for _, rec := range resp.Answers {
 		var addr netip.Addr
@@ -320,9 +486,7 @@ func (sh *scanShard) record(cfg *ScanConfig, attr *bgp.Reader, subnet netip.Pref
 		default:
 			continue
 		}
-		as, _ := attr.Origin(addr)
-		sh.addrs[addr] = as
-		operator = as // all records of one answer share an AS (§4.1)
+		operator = w.foldAddr(sh, addr) // all records of one answer share an AS (§4.1)
 	}
 
 	// Publish scope suppression. Exactly one worker wins the publication
@@ -339,15 +503,15 @@ func (sh *scanShard) record(cfg *ScanConfig, attr *bgp.Reader, subnet netip.Pref
 			// address space — nothing more can be learned from further
 			// ECS queries.
 			op := operator
-			fresh = global.CompareAndSwap(nil, &op)
+			fresh = st.global.CompareAndSwap(nil, &op)
 		case cs.ScopePrefixLen < 24:
-			fresh = skip.insert(cs.ScopePrefix(), operator)
+			fresh = st.skip.insert(cs.ScopePrefix(), operator)
 		}
 	}
 	if !fresh {
 		sh.skipped++
 	}
-	sh.account(attr, subnet, operator)
+	sh.account(w, subnet, operator)
 }
 
 // attemptOutcome classifies one exchange.
@@ -385,12 +549,13 @@ func classify(resp *dnswire.Message, err error, wantID uint16) attemptOutcome {
 // scanState carries the shared scan machinery across passes.
 type scanState struct {
 	cfg     *ScanConfig
-	attr    *bgp.Reader
+	idx     *bgp.Index // flattened attribution snapshot (nil-safe)
 	clock   faults.Clock
 	skip    skipIndex
 	global  atomic.Pointer[bgp.ASN] // set once by the first scope-0 answer
 	limiter *tokenBucket
 	breaker *circuitBreaker
+	auxes   []*workerAux // per-worker lookup state, persistent across passes
 
 	// Checkpoint mode state (nil/unused on the hot path). done is owned
 	// by the collector goroutine while a pass runs; resumed is the frozen
@@ -414,6 +579,7 @@ func (st *scanState) fail(err error) {
 type scanWorker struct {
 	st       *scanState
 	sh       *scanShard // persistent on the hot path; per-batch mini otherwise
+	aux      *workerAux // persistent lookup state (memos, cursor, grant)
 	budget   int64      // remaining retry budget this pass (<0 = unlimited)
 	deferred []subnetRef
 
@@ -468,11 +634,11 @@ func (w *scanWorker) processSubnet(ctx context.Context, sh *scanShard, ref subne
 	st, cfg := w.st, w.st.cfg
 	if cfg.RespectScope {
 		if op := st.global.Load(); op != nil {
-			sh.skipCovered(st.attr, ref.p, *op)
+			sh.skipCovered(w, ref.p, *op)
 			return true
 		}
-		if op, ok := st.skip.lookup(ref.p.Addr()); ok {
-			sh.skipCovered(st.attr, ref.p, op)
+		if op, ok := st.skip.lookup(ref.p.Addr(), &w.aux.skipHint); ok {
+			sh.skipCovered(w, ref.p, op)
 			return true
 		}
 	}
@@ -484,7 +650,7 @@ func (w *scanWorker) processSubnet(ctx context.Context, sh *scanShard, ref subne
 			w.defer_(sh, ref)
 			return false
 		}
-		st.limiter.wait(ctx)
+		st.limiter.wait(ctx, &w.aux.grant)
 
 		// A fresh transaction ID per attempt: a late response to attempt
 		// N cannot satisfy attempt N+1. The query message itself is the
@@ -507,7 +673,7 @@ func (w *scanWorker) processSubnet(ctx context.Context, sh *scanShard, ref subne
 		switch out {
 		case outcomeOK:
 			st.breaker.success(probe)
-			sh.record(cfg, st.attr, ref.p, resp, &st.skip, &st.global)
+			sh.record(w, ref.p, resp)
 			// record copies everything it keeps; the pooled response can
 			// go back for the next exchange.
 			dnswire.ReleaseMessage(resp)
@@ -627,16 +793,18 @@ func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 		Addresses: make(map[netip.Addr]bgp.ASN),
 		Serving:   make(map[bgp.ASN]*ServingStats),
 	}
-	var attr *bgp.Reader
+	var idx *bgp.Index
 	if cfg.Attribution != nil {
-		attr = cfg.Attribution.Snapshot()
+		// Table.Index is memoized: the flattened snapshot is built once
+		// per table, not once per scan.
+		idx = cfg.Attribution.Index()
 	}
 
 	st := &scanState{
 		cfg:     &cfg,
-		attr:    attr,
+		idx:     idx,
 		clock:   cfg.Clock,
-		limiter: newTokenBucket(cfg.QPS, cfg.Clock),
+		limiter: newTokenBucket(cfg.QPS, cfg.PacerBatch, cfg.Clock),
 		breaker: newCircuitBreaker(cfg.Breaker, cfg.Clock),
 	}
 
@@ -665,8 +833,14 @@ func Scan(ctx context.Context, cfg ScanConfig) (*Dataset, error) {
 	}
 
 	shards := make([]*scanShard, cfg.Concurrency)
+	st.auxes = make([]*workerAux, cfg.Concurrency)
 	for i := range shards {
 		shards[i] = newScanShard()
+		st.auxes[i] = &workerAux{
+			origins4: make(map[uint32]bgp.ASN),
+			origins:  make(map[netip.Addr]bgp.ASN),
+			cursor:   idx.Cursor(),
+		}
 	}
 
 	var pending []subnetRef
@@ -782,11 +956,16 @@ func (st *scanState) runPass(ctx context.Context, shards []*scanShard, pending [
 		go st.collect(results, collectorDone)
 	}
 
+	// free recycles drained batch slices back to the producer, so the
+	// steady state reuses a fixed set of batch buffers instead of
+	// allocating one per channel send.
+	free := make(chan []subnetRef, 4*cfg.Concurrency)
+
 	workers := make([]*scanWorker, cfg.Concurrency)
 	var wg sync.WaitGroup
 	wg.Add(cfg.Concurrency)
 	for i := 0; i < cfg.Concurrency; i++ {
-		w := &scanWorker{st: st, sh: shards[i], budget: -1}
+		w := &scanWorker{st: st, sh: shards[i], aux: st.auxes[i], budget: -1}
 		if cfg.RetryBudget > 0 {
 			w.budget = cfg.RetryBudget
 		}
@@ -812,23 +991,48 @@ func (st *scanState) runPass(ctx context.Context, shards []*scanShard, pending [
 				if ckpt {
 					results <- batchResult{mini: sh, done: done}
 				}
+				select {
+				case free <- batch[:0]:
+				default: // recycler full: let the GC take this one
+				}
 			}
+			// Hand unused pacer slots back so the pacer's timeline
+			// reflects exactly the queries sent.
+			st.limiter.release(&w.aux.grant)
 		}()
 	}
 
-	// Feed the pass.
-	batch := make([]subnetRef, 0, workBatchSize)
+	// Feed the pass. When the recycler runs dry (at high concurrency the
+	// producer outruns the workers), batches are carved from a slab so
+	// the fallback costs one allocation per slabBatches batches, not one
+	// each.
+	const slabBatches = 64
+	var slab []subnetRef
+	newBatch := func() []subnetRef {
+		select {
+		case b := <-free:
+			return b
+		default:
+		}
+		if len(slab) < workBatchSize {
+			slab = make([]subnetRef, slabBatches*workBatchSize)
+		}
+		b := slab[:0:workBatchSize]
+		slab = slab[workBatchSize:]
+		return b
+	}
+	batch := newBatch()
 	flush := func() bool {
 		if len(batch) == 0 {
 			return true
 		}
 		select {
 		case work <- batch:
-			batch = make([]subnetRef, 0, workBatchSize)
-			return true
 		case <-ctx.Done():
 			return false
 		}
+		batch = newBatch()
+		return true
 	}
 	if first {
 		idx := int64(0)
@@ -952,21 +1156,58 @@ func sortAddrs(addrs []netip.Addr) {
 // the sleep happens outside any shared critical section. It reads and
 // sleeps on the scan's injected clock, so paced chaos runs on a
 // VirtualClock cost no wall time.
+//
+// Grants are batched: one CAS claims a tranche of batch consecutive
+// send slots into the caller's pacerGrant, and the following batch-1
+// waits are served from the grant without touching shared state. Each
+// slot is still slept to individually — the tranche pre-books the
+// timeline, it does not burst — so the long-run rate is exactly QPS.
+// Unused slots must be handed back with release so the booked timeline
+// matches the queries actually sent.
 type tokenBucket struct {
 	interval int64 // nanoseconds per query; 0 disables pacing
+	batch    int64 // send slots claimed per CAS
 	clock    faults.Clock
 	next     atomic.Int64
 }
 
-func newTokenBucket(qps float64, clock faults.Clock) *tokenBucket {
+// defaultPacerBatch is the tranche size when ScanConfig.PacerBatch is 0.
+const defaultPacerBatch = 16
+
+func newTokenBucket(qps float64, batch int, clock faults.Clock) *tokenBucket {
 	if qps <= 0 {
 		return &tokenBucket{clock: clock}
 	}
-	return &tokenBucket{interval: int64(float64(time.Second) / qps), clock: clock}
+	if batch <= 0 {
+		batch = defaultPacerBatch
+	}
+	return &tokenBucket{
+		interval: int64(float64(time.Second) / qps),
+		batch:    int64(batch),
+		clock:    clock,
+	}
 }
 
-func (b *tokenBucket) wait(ctx context.Context) {
+// pacerGrant is a worker's outstanding tranche of send slots: base is
+// the timestamp of the next unused slot, left counts slots remaining.
+type pacerGrant struct {
+	base int64
+	left int64
+}
+
+// wait blocks until the caller's next send slot. Slots come from g when
+// it still holds any, otherwise one CAS claims the next tranche.
+func (b *tokenBucket) wait(ctx context.Context, g *pacerGrant) {
 	if b.interval == 0 {
+		return
+	}
+	if g.left > 0 {
+		slot := g.base
+		g.base += b.interval
+		g.left--
+		if wait := slot - b.clock.Now().UnixNano(); wait > 0 {
+			_ = b.clock.Sleep(ctx, time.Duration(wait))
+		}
 		return
 	}
 	for {
@@ -976,13 +1217,25 @@ func (b *tokenBucket) wait(ctx context.Context) {
 		if now > target {
 			target = now
 		}
-		if b.next.CompareAndSwap(next, target+b.interval) {
+		if b.next.CompareAndSwap(next, target+b.interval*b.batch) {
+			g.base = target + b.interval
+			g.left = b.batch - 1
 			if wait := target - now; wait > 0 {
 				_ = b.clock.Sleep(ctx, time.Duration(wait))
 			}
 			return
 		}
 	}
+}
+
+// release returns g's unused slots to the bucket, so pauses between
+// passes (or a drained work queue) don't leave booked-but-unsent slots
+// inflating the pacer's timeline.
+func (b *tokenBucket) release(g *pacerGrant) {
+	if g.left > 0 && b.interval != 0 {
+		b.next.Add(-g.left * b.interval)
+	}
+	g.base, g.left = 0, 0
 }
 
 // String summarizes the dataset.

@@ -10,12 +10,14 @@
 package dnsserver
 
 import (
+	"encoding/binary"
 	"net/netip"
 	"sync"
 	"sync/atomic"
 
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/dnswire"
+	"github.com/relay-networks/privaterelay/internal/epochmap"
 	"github.com/relay-networks/privaterelay/internal/iputil"
 	"github.com/relay-networks/privaterelay/internal/netsim"
 )
@@ -56,19 +58,12 @@ type AuthServer struct {
 	limiter *RateLimiter
 	// Stats exposes counters for scan instrumentation.
 	Stats Stats
-	// cache memoizes the per-answer-key []Record sets and ECS scopes.
-	cache recordCache
+	// cache memoizes responses. It is shared by every AuthServer over the
+	// same world (see cacheFor): records are pure functions of (world,
+	// month, proto, qtype, subnet), so one materialization serves all
+	// server instances and a fresh server starts warm.
+	cache *serverCache
 }
-
-// recordCacheShards / recordCacheShardCap mirror netsim's answer cache:
-// sharded RWMutex maps (sync.Map would box the struct key, putting an
-// allocation back on every lookup), cleared wholesale when a shard
-// outgrows its cap — entries are deterministic, so eviction only costs a
-// rebuild.
-const (
-	recordCacheShards   = 64
-	recordCacheShardCap = 1 << 13
-)
 
 // recordKey identifies one memoized response record set. It mirrors
 // netsim's answerCacheKey: serving is included because the March
@@ -83,6 +78,20 @@ type recordKey struct {
 	qtype   dnswire.Type
 }
 
+// fastKeyOf addresses the per-prefix front map: the packed exact client
+// subnet and the month/plane folded injectively into one uint64 (40
+// bits of prefix, 7+4 of month, 1 of plane) — a single-word map key
+// probes several times faster than the equivalent struct. Reports false
+// for inputs outside the packable ranges; those fall back to the class
+// path.
+func fastKeyOf(pack uint64, month bgp.Month, proto netsim.Proto) (uint64, bool) {
+	y := month.Year - 1990
+	if y < 0 || y > 127 || month.M < 0 || month.M > 15 || proto < 0 || proto > 1 {
+		return 0, false
+	}
+	return pack<<12 | uint64(y)<<5 | uint64(month.M)<<1 | uint64(proto), true
+}
+
 // answerEntry is one memoized response: the shared read-only record
 // slice and the ECS scope the server attaches for the answer's class.
 type answerEntry struct {
@@ -90,44 +99,44 @@ type answerEntry struct {
 	scope   uint8
 }
 
-type recordCacheShard struct {
-	mu sync.RWMutex
-	m  map[recordKey]*answerEntry
+// serverCache holds the epoch-published response maps. class memoizes
+// one entry per answer class (covering route or "both"-AS /24); fast
+// fronts it with a per-client-prefix map so the steady-state A path is
+// a single lock-free lookup.
+type serverCache struct {
+	fast  epochmap.Map[uint64, *answerEntry]
+	class epochmap.Map[recordKey, *answerEntry]
 }
 
-type recordCache struct {
-	shards [recordCacheShards]recordCacheShard
-}
+// worldCaches shares one serverCache per world across AuthServer
+// instances. Responses depend only on (world, month, proto, qtype,
+// subnet) — never on per-server state — so sharing is sound and spares
+// each new server instance the full warm-up sweep.
+var worldCaches sync.Map // *netsim.World → *serverCache
 
-func (c *recordCache) get(k recordKey) (*answerEntry, bool) {
-	sh := &c.shards[k.key%recordCacheShards]
-	sh.mu.RLock()
-	e, ok := sh.m[k]
-	sh.mu.RUnlock()
-	return e, ok
-}
-
-// put stores e for k and returns the canonical entry (first writer wins).
-func (c *recordCache) put(k recordKey, e *answerEntry) *answerEntry {
-	sh := &c.shards[k.key%recordCacheShards]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if have, ok := sh.m[k]; ok {
-		return have
+func cacheFor(w *netsim.World) *serverCache {
+	if c, ok := worldCaches.Load(w); ok {
+		return c.(*serverCache)
 	}
-	if sh.m == nil {
-		sh.m = make(map[recordKey]*answerEntry)
-	} else if len(sh.m) >= recordCacheShardCap {
-		clear(sh.m)
+	c, _ := worldCaches.LoadOrStore(w, &serverCache{})
+	return c.(*serverCache)
+}
+
+// packSubnet packs an IPv4 prefix into a fastKey pack value (address
+// bits over prefix length). Reports false for non-IPv4 prefixes.
+func packSubnet(subnet netip.Prefix) (uint64, bool) {
+	addr := subnet.Addr()
+	if !addr.Is4() {
+		return 0, false
 	}
-	sh.m[k] = e
-	return e
+	a4 := addr.As4()
+	return uint64(binary.BigEndian.Uint32(a4[:]))<<8 | uint64(uint8(subnet.Bits())), true
 }
 
 // NewAuthServer builds the authoritative server backed by a world,
 // answering with the fleet of the given month. limiter may be nil.
 func NewAuthServer(w *netsim.World, month bgp.Month, limiter *RateLimiter) *AuthServer {
-	return &AuthServer{world: w, month: month, limiter: limiter}
+	return &AuthServer{world: w, month: month, limiter: limiter, cache: cacheFor(w)}
 }
 
 // SetMonth repoints the server at another scan month's fleet (the
@@ -184,7 +193,9 @@ func zoneName(proto netsim.Proto) string {
 }
 
 // answerA serves the ECS-aware A response: record selection and scope come
-// from the world's serving assignment for the client subnet.
+// from the world's serving assignment for the client subnet. The warm
+// path is one epoch-map lookup keyed on the packed subnet — no locks, no
+// routing-table walks, no hashing beyond the map's own.
 func (s *AuthServer) answerA(query *dnswire.Message, from netip.Addr, proto netsim.Proto) *dnswire.Message {
 	subnet, hadECS := clientSubnet(query, from)
 	if !subnet.IsValid() {
@@ -193,12 +204,20 @@ func (s *AuthServer) answerA(query *dnswire.Message, from netip.Addr, proto nets
 		return m
 	}
 	month := s.month
-	serving, _ := s.world.ServingAS(subnet, month, proto)
-	key, known := s.world.AnswerKey(subnet)
-	rk := recordKey{key, known, serving, month, proto, dnswire.TypeA}
-	e, ok := s.cache.get(rk)
-	if !ok {
-		e = s.buildAnswerA(rk, subnet, proto)
+	pack, packed := packSubnet(subnet)
+	var fk uint64
+	if packed {
+		fk, packed = fastKeyOf(pack, month, proto)
+	}
+	var e *answerEntry
+	if packed {
+		e, _ = s.cache.fast.Get(fk)
+	}
+	if e == nil {
+		e = s.classAnswerA(subnet, month, proto)
+		if packed {
+			e = s.cache.fast.Put(fk, e)
+		}
 	}
 	m := s.respond(query, e.records)
 	if hadECS {
@@ -213,10 +232,15 @@ func (s *AuthServer) answerA(query *dnswire.Message, from netip.Addr, proto nets
 	return m
 }
 
-// buildAnswerA materializes and memoizes the record set for one answer
-// class on a cache miss.
-func (s *AuthServer) buildAnswerA(rk recordKey, subnet netip.Prefix, proto netsim.Proto) *answerEntry {
-	addrs := s.world.IngressAnswer(subnet, rk.month, proto)
+// classAnswerA resolves subnet to its answer-class entry, materializing
+// and memoizing the record set on a class miss.
+func (s *AuthServer) classAnswerA(subnet netip.Prefix, month bgp.Month, proto netsim.Proto) *answerEntry {
+	ac := s.world.AnswerClass(subnet, month, proto)
+	rk := recordKey{ac.Key, ac.Known, ac.Serving, month, proto, dnswire.TypeA}
+	if e, ok := s.cache.class.Get(rk); ok {
+		return e
+	}
+	addrs := s.world.IngressAnswerFor(ac, month, proto)
 	var records []dnswire.Record
 	if len(addrs) > 0 {
 		name := zoneName(proto)
@@ -227,11 +251,11 @@ func (s *AuthServer) buildAnswerA(rk recordKey, subnet netip.Prefix, proto netsi
 			})
 		}
 	}
-	scope, ok := s.world.AnswerScope(subnet)
-	if !ok {
+	scope := ac.Scope
+	if !ac.Known {
 		scope = 24
 	}
-	return s.cache.put(rk, &answerEntry{records: records, scope: scope})
+	return s.cache.class.Put(rk, &answerEntry{records: records, scope: scope})
 }
 
 // answerAAAA serves AAAA queries. Per the paper (§3), the server reports
@@ -240,7 +264,7 @@ func (s *AuthServer) buildAnswerA(rk recordKey, subnet netip.Prefix, proto netsi
 func (s *AuthServer) answerAAAA(query *dnswire.Message, from netip.Addr, proto netsim.Proto) *dnswire.Message {
 	key := iputil.HashAddr(from)
 	rk := recordKey{key, true, 0, s.month, proto, dnswire.TypeAAAA}
-	e, ok := s.cache.get(rk)
+	e, ok := s.cache.class.Get(rk)
 	if !ok {
 		addrs := s.world.IngressAnswerV6(key, rk.month, proto)
 		var records []dnswire.Record
@@ -253,7 +277,7 @@ func (s *AuthServer) answerAAAA(query *dnswire.Message, from netip.Addr, proto n
 				})
 			}
 		}
-		e = s.cache.put(rk, &answerEntry{records: records})
+		e = s.cache.class.Put(rk, &answerEntry{records: records})
 	}
 	m := s.respond(query, e.records)
 	if query.Edns != nil && query.Edns.ClientSubnet != nil {

@@ -1,0 +1,150 @@
+// Package epochmap provides an epoch-published immutable map for
+// read-mostly memoization on hot concurrent paths.
+//
+// Readers load the current epoch — a plain Go map that is never written
+// again once published — through an atomic.Pointer and look keys up with
+// zero locks and zero allocations, exactly like the copy-on-write scope
+// trie in internal/core. Writers serialize on a small mutex and batch
+// new entries into a private dirty map; when enough entries accumulate
+// (or a key proves hot, see Put) the writer builds the successor epoch
+// as a fresh map holding old ∪ dirty and publishes it with a single
+// pointer store. Concurrent readers therefore always observe either the
+// old or the new epoch in full, never a torn map.
+//
+// The map is append-only between resets: entries are deterministic
+// memoizations, so the first value stored for a key is canonical and
+// every later Put of the same key returns it (first-writer-wins, like
+// the sharded caches this package replaces). When the map outgrows its
+// cap the next publication drops the old epoch wholesale — eviction
+// costs a rebuild, never a wrong answer.
+package epochmap
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxEntries bounds a map when MaxEntries is left zero. It
+// mirrors the total capacity of the 64-shard × 8192-entry RWMutex
+// caches this package replaced.
+const DefaultMaxEntries = 1 << 19
+
+// publishFloor is the minimum dirty-batch size that triggers a
+// publication; below it, publication happens only via promotion.
+const publishFloor = 64
+
+// Map is an epoch-published memoization map. The zero value is ready to
+// use. A Map must not be copied after first use.
+type Map[K comparable, V any] struct {
+	// snap is the current published epoch. The pointed-to map is
+	// immutable: it is fully built before the pointer store and never
+	// written afterwards.
+	snap atomic.Pointer[map[K]V]
+
+	mu    sync.Mutex
+	dirty map[K]V // pending entries, not yet visible to readers
+
+	// MaxEntries caps published+pending entries (0 = DefaultMaxEntries).
+	// Set it before concurrent use, if at all.
+	MaxEntries int
+}
+
+// Get returns the value published for k. It takes no locks and performs
+// no allocations: one atomic pointer load and one map lookup.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	if s := m.snap.Load(); s != nil {
+		v, ok := (*s)[k]
+		return v, ok
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores v for k and returns the canonical value: the first writer
+// wins, so every caller shares one value per key. New entries land in
+// the writer-private dirty batch first and become visible to Get at the
+// next publication. Two situations publish immediately: the dirty batch
+// reaching its size threshold, and a repeat Put of a still-unpublished
+// key — the repeat proves readers keep missing that key, so waiting for
+// the batch to fill would make them rebuild it indefinitely.
+func (m *Map[K, V]) Put(k K, v V) V {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	snap := m.snap.Load()
+	var published int
+	if snap != nil {
+		if have, ok := (*snap)[k]; ok {
+			return have
+		}
+		published = len(*snap)
+	}
+	if have, ok := m.dirty[k]; ok {
+		// A reader missed this key after another writer stored it:
+		// promote the batch to a published epoch so the misses stop.
+		m.publishLocked(snap)
+		return have
+	}
+	if m.dirty == nil {
+		m.dirty = make(map[K]V, publishFloor)
+	}
+	m.dirty[k] = v
+
+	max := m.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	switch {
+	case published+len(m.dirty) > max:
+		// Over cap: the next epoch is the dirty batch alone and the old
+		// epoch is dropped wholesale (entries are deterministic — the
+		// rebuild is the only cost).
+		m.publishLocked(nil)
+	case len(m.dirty) >= m.threshold(published):
+		m.publishLocked(snap)
+	}
+	return v
+}
+
+// threshold is the dirty-batch size that triggers publication: doubling
+// against the published epoch, floored so tiny maps still batch a
+// useful amount of work per epoch. Doubling keeps the total entries
+// copied across all publications at ~2× the final size; keys that miss
+// while waiting in a large dirty batch publish early via promotion.
+func (m *Map[K, V]) threshold(published int) int {
+	if published > publishFloor {
+		return published
+	}
+	return publishFloor
+}
+
+// publishLocked builds and publishes base ∪ dirty. Callers hold mu.
+func (m *Map[K, V]) publishLocked(base *map[K]V) {
+	var n int
+	if base != nil {
+		n = len(*base)
+	}
+	next := make(map[K]V, n+len(m.dirty))
+	if base != nil {
+		for k, v := range *base {
+			next[k] = v
+		}
+	}
+	for k, v := range m.dirty {
+		next[k] = v
+	}
+	m.snap.Store(&next)
+	m.dirty = nil
+}
+
+// Len reports published plus pending entries (writer-accurate; readers
+// of a concurrent Map should treat it as advisory).
+func (m *Map[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.dirty)
+	if s := m.snap.Load(); s != nil {
+		n += len(*s)
+	}
+	return n
+}

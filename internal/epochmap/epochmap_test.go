@@ -1,0 +1,118 @@
+package epochmap
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFirstWriterWins pins the memoization contract: the first value
+// stored for a key is canonical and later Puts return it unchanged.
+func TestFirstWriterWins(t *testing.T) {
+	var m Map[int, string]
+	if got := m.Put(1, "a"); got != "a" {
+		t.Fatalf("first Put returned %q, want a", got)
+	}
+	if got := m.Put(1, "b"); got != "a" {
+		t.Fatalf("second Put returned %q, want canonical a", got)
+	}
+	// Force publication, then try to overwrite the published entry.
+	for i := 0; i < publishFloor; i++ {
+		m.Put(100+i, "x")
+	}
+	if _, ok := m.Get(1); !ok {
+		t.Fatal("entry 1 not published after batch fill")
+	}
+	if got := m.Put(1, "c"); got != "a" {
+		t.Fatalf("post-publish Put returned %q, want canonical a", got)
+	}
+}
+
+// TestPromotionPublishesRepeatedMiss verifies that a repeat Put of a
+// still-unpublished key promotes the dirty batch immediately, so a key
+// readers keep missing becomes visible without waiting for the batch to
+// fill.
+func TestPromotionPublishesRepeatedMiss(t *testing.T) {
+	var m Map[int, int]
+	m.Put(7, 70)
+	if _, ok := m.Get(7); ok {
+		t.Fatal("entry visible before publication")
+	}
+	if got := m.Put(7, 71); got != 70 {
+		t.Fatalf("repeat Put returned %d, want 70", got)
+	}
+	if v, ok := m.Get(7); !ok || v != 70 {
+		t.Fatalf("Get after promotion = %d,%v; want 70,true", v, ok)
+	}
+}
+
+// TestCapResetDropsOldEpoch verifies the wholesale reset: once the map
+// exceeds MaxEntries the old epoch is dropped and only the fresh batch
+// survives.
+func TestCapResetDropsOldEpoch(t *testing.T) {
+	m := Map[int, int]{MaxEntries: 2 * publishFloor}
+	for i := 0; i < 3*publishFloor; i++ {
+		m.Put(i, i)
+	}
+	if n := m.Len(); n > 2*publishFloor {
+		t.Fatalf("Len = %d after reset, want <= %d", n, 2*publishFloor)
+	}
+	// Early keys were dropped by the reset; re-putting them must work.
+	if got := m.Put(0, 42); got != 42 {
+		t.Fatalf("re-Put after reset returned %d, want 42", got)
+	}
+}
+
+// TestEpochNeverTorn is the ISSUE-required torn-map test: concurrent
+// readers racing a stream of publications must observe every published
+// epoch as internally consistent — each key either absent or carrying
+// its canonical value, with values from the same generation. Runs under
+// -race to catch any unsynchronized map access.
+func TestEpochNeverTorn(t *testing.T) {
+	var m Map[int, int]
+	const (
+		keys    = 4096
+		readers = 8
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (i * 31) % keys
+				if v, ok := m.Get(k); ok && v != k*3 {
+					t.Errorf("reader %d: Get(%d) = %d, want %d (torn or corrupted epoch)", r, k, v, k*3)
+					return
+				}
+			}
+		}(r)
+	}
+	// Two writers race over the same key range; first-writer-wins keeps
+	// values canonical regardless of interleaving.
+	var ww sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for k := 0; k < keys; k++ {
+				if got := m.Put(k, k*3); got != k*3 {
+					t.Errorf("Put(%d) returned %d, want %d", k, got, k*3)
+				}
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if v, ok := m.Get(k); !ok || v != k*3 {
+			t.Fatalf("final Get(%d) = %d,%v; want %d,true", k, v, ok, k*3)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Epochcheck guards the epoch-publication pattern (internal/epochmap,
+// the iputil trie snapshots): a map published through an atomic.Pointer
+// is immutable from the moment of the pointer store, so
+//
+//   - a map reached through atomic.Pointer.Load must never be written —
+//     no index assignment, no delete, no clear. Readers race with the
+//     publishing writer by design; a single mutation through a loaded
+//     snapshot is a data race against every concurrent reader;
+//   - a map-typed struct field whose address is given to
+//     atomic.Pointer.Store is published in place and must not be
+//     touched plainly afterwards (or before: publication makes the
+//     field's identity a snapshot, so all access goes through Load).
+//
+// Together with atomicfield (which keeps the pointer itself behind its
+// methods) this makes the full epoch lifecycle machine-checked.
+var Epochcheck = &Analyzer{
+	Name: "epochcheck",
+	Doc: "a map published through an atomic.Pointer is immutable: no writes " +
+		"via Load, no plain access to Store'd fields",
+	Run: runEpochcheck,
+}
+
+func runEpochcheck(pass *Pass) error {
+	reportStoredFieldAccess(pass)
+	reportLoadedMapWrites(pass)
+	return nil
+}
+
+// reportStoredFieldAccess flags plain access to map-typed struct fields
+// that are published in place via atomic.Pointer.Store(&field).
+func reportStoredFieldAccess(pass *Pass) {
+	// First sweep: &x.f arguments to atomic.Pointer Store/Swap/
+	// CompareAndSwap mark the field as published and bless those
+	// selector nodes (mirrors atomicfield's two-sweep shape).
+	published := map[*types.Var]bool{}
+	blessed := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicPointerMethod(pass.Info, call, "Store", "Swap", "CompareAndSwap") {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				f := fieldOf(pass.Info, sel)
+				if f == nil {
+					continue
+				}
+				if _, isMap := f.Type().Underlying().(*types.Map); !isMap {
+					continue
+				}
+				published[f] = true
+				blessed[sel] = true
+			}
+			return true
+		})
+	}
+	if len(published) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if f := fieldOf(pass.Info, sel); f != nil && published[f] && !blessed[sel] {
+				pass.Reportf(sel.Pos(),
+					"plain access to map field %s, which is published through an atomic.Pointer; go through Load",
+					f.Name())
+			}
+			return true
+		})
+	}
+}
+
+// reportLoadedMapWrites flags mutation of maps whose value traces back
+// to atomic.Pointer.Load: direct writes through the loaded pointer and
+// writes through local variables assigned from it. The propagation is
+// flow-insensitive (a fixpoint over the package's assignments), which
+// errs toward reporting — a variable that ever held a published
+// snapshot should never be the target of a map write.
+func reportLoadedMapWrites(pass *Pass) {
+	// Fixpoint: loaded holds locals whose value derives from a Load.
+	loaded := map[*types.Var]bool{}
+	derived := func(e ast.Expr) bool { return loadDerived(pass.Info, loaded, e) }
+	for changed := true; changed; {
+		changed = false
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i, rhs := range as.Rhs {
+					if !derived(rhs) {
+						continue
+					}
+					id, ok := as.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v, ok := pass.Info.ObjectOf(id).(*types.Var)
+					if ok && !loaded[v] {
+						loaded[v] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+					if ok && derived(ix.X) {
+						pass.Reportf(ix.Pos(),
+							"write to a map obtained from atomic.Pointer.Load; published epochs are immutable")
+					}
+				}
+			case *ast.CallExpr:
+				id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+				if !ok || (id.Name != "delete" && id.Name != "clear") {
+					return true
+				}
+				if _, isBuiltin := pass.Info.ObjectOf(id).(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if len(n.Args) > 0 && derived(n.Args[0]) {
+					pass.Reportf(n.Pos(),
+						"%s on a map obtained from atomic.Pointer.Load; published epochs are immutable", id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// loadDerived reports whether e yields a published map or a pointer to
+// one: an atomic.Pointer.Load call on a map pointee, a variable in
+// loaded, or a dereference of either.
+func loadDerived(info *types.Info, loaded map[*types.Var]bool, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.StarExpr:
+		return loadDerived(info, loaded, e.X)
+	case *ast.Ident:
+		v, ok := info.ObjectOf(e).(*types.Var)
+		return ok && loaded[v]
+	case *ast.CallExpr:
+		if !isAtomicPointerMethod(info, e, "Load") {
+			return false
+		}
+		// Only pointer-to-map loads participate; atomic.Pointer over
+		// other types is atomicfield's business.
+		t := info.TypeOf(e)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			return false
+		}
+		_, isMap := ptr.Elem().Underlying().(*types.Map)
+		return isMap
+	}
+	return false
+}
+
+// isAtomicPointerMethod reports whether call invokes one of the named
+// methods on a sync/atomic wrapper type (Pointer, Value, …).
+func isAtomicPointerMethod(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return false
+	}
+	for _, name := range names {
+		if fn.Name() == name {
+			return true
+		}
+	}
+	return false
+}

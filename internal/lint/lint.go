@@ -1,8 +1,8 @@
 // Package lint is relaylint: a project-specific static-analysis suite
 // enforcing the invariants the test suite can only spot-check — pooled
 // message lifecycles (poolcheck), dataset determinism (determinism),
-// atomic-field access discipline (atomicfield) and enum switch coverage
-// (exhaustive).
+// atomic-field access discipline (atomicfield), epoch-published map
+// immutability (epochcheck) and enum switch coverage (exhaustive).
 //
 // The suite is deliberately dependency-free: it mirrors the
 // golang.org/x/tools/go/analysis Analyzer/Pass shape on the standard
@@ -75,7 +75,7 @@ func (f Finding) String() string {
 
 // All returns the full relaylint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Poolcheck, Determinism, Atomicfield, Exhaustive}
+	return []*Analyzer{Poolcheck, Determinism, Atomicfield, Epochcheck, Exhaustive}
 }
 
 // RunAnalyzers applies each analyzer to each package and returns the

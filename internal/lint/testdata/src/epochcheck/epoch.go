@@ -1,0 +1,96 @@
+// Package epochcheck is golden testdata for the epochcheck analyzer:
+// maps published through an atomic.Pointer are immutable, and fields
+// published in place via Store must not be accessed plainly.
+package epochcheck
+
+import "sync/atomic"
+
+// cache is the epochmap shape: readers Load a snapshot, writers build
+// a fresh map and publish it with one pointer store.
+type cache struct {
+	snap  atomic.Pointer[map[string]int]
+	extra map[string]int
+}
+
+// get is the legitimate read path: Load, probe, never write.
+func (c *cache) get(k string) (int, bool) {
+	if s := c.snap.Load(); s != nil {
+		v, ok := (*s)[k]
+		return v, ok
+	}
+	return 0, false
+}
+
+// publish is the legitimate write path: build a fresh map, then Store.
+func (c *cache) publish(entries map[string]int) {
+	next := make(map[string]int, len(entries))
+	for k, v := range entries {
+		next[k] = v
+	}
+	c.snap.Store(&next)
+}
+
+// mutateDirect writes straight through the loaded pointer.
+func (c *cache) mutateDirect(k string, v int) {
+	(*c.snap.Load())[k] = v // want `write to a map obtained from atomic\.Pointer\.Load`
+}
+
+// mutateViaLocal writes through a variable holding the snapshot.
+func (c *cache) mutateViaLocal(k string, v int) {
+	s := c.snap.Load()
+	m := *s
+	m[k] = v // want `write to a map obtained from atomic\.Pointer\.Load`
+}
+
+// deleteFromEpoch shrinks a published snapshot in place.
+func (c *cache) deleteFromEpoch(k string) {
+	s := c.snap.Load()
+	delete(*s, k) // want `delete on a map obtained from atomic\.Pointer\.Load`
+}
+
+// clearEpoch empties a published snapshot in place.
+func (c *cache) clearEpoch() {
+	s := c.snap.Load()
+	clear(*s) // want `clear on a map obtained from atomic\.Pointer\.Load`
+}
+
+// inPlacePublisher publishes a struct field by address instead of a
+// fresh local: every plain access to that field is now a race with
+// readers holding the snapshot.
+type inPlacePublisher struct {
+	live atomic.Pointer[map[string]int]
+	data map[string]int
+}
+
+func (p *inPlacePublisher) publishInPlace() {
+	p.live.Store(&p.data)
+}
+
+func (p *inPlacePublisher) touchPublished(k string, v int) {
+	p.data[k] = v // want `plain access to map field data`
+}
+
+func (p *inPlacePublisher) readPublished(k string) int {
+	return p.data[k] // want `plain access to map field data`
+}
+
+// localSnapshotReadsAreFine: reads through the loaded pointer, ranges
+// included, are the whole point and must not be flagged.
+func (p *inPlacePublisher) localSnapshotReadsAreFine() int {
+	total := 0
+	if s := p.live.Load(); s != nil {
+		for _, v := range *s {
+			total += v
+		}
+	}
+	return total
+}
+
+// plainFieldStaysPlain: a map field never given to Store keeps its
+// ordinary mutability.
+func (c *cache) plainFieldStaysPlain(k string, v int) {
+	if c.extra == nil {
+		c.extra = map[string]int{}
+	}
+	c.extra[k] = v
+}

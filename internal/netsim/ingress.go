@@ -1,8 +1,8 @@
 package netsim
 
 import (
+	"encoding/binary"
 	"net/netip"
-	"sync"
 
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/iputil"
@@ -137,95 +137,167 @@ func (w *World) FleetUnion(month bgp.Month, proto Proto, fam Family, phase int) 
 	return out
 }
 
-// ServingAS decides which ingress operator serves a client /24 on the
-// given plane and month. Assignment reproduces the Table 2 structure:
-// whole ASes are Akamai-only or Apple-only, and inside "both" ASes the
-// split is per-/24 with Apple at 76 %. The fallback plane was served
-// entirely by Apple until Akamai fallback capacity appeared in March.
-func (w *World) ServingAS(subnet netip.Prefix, month bgp.Month, proto Proto) (bgp.ASN, bool) {
-	client, ok := w.ClientOf(subnet.Addr())
-	if !ok {
-		return 0, false
-	}
-	akamaiShare := func(pct uint64) bgp.ASN {
-		h := iputil.Mix(iputil.HashPrefix(iputil.CanonicalPrefix(subnet)), w.seed^0xA5)
-		if h%100 < pct {
-			return ASAkamaiPR
-		}
-		return ASApple
-	}
-	var serving bgp.ASN
-	switch client.Group {
-	case GroupAkamaiOnly:
-		serving = ASAkamaiPR
-	case GroupAppleOnly:
-		serving = ASApple
-	default:
-		serving = akamaiShare(100 - appleShareInBothPct)
-	}
-	if proto == ProtoFallback && serving == ASAkamaiPR {
-		// Fallback capacity at Akamai ramps up: none before March, partial
-		// in March, full in April (Table 1's fallback columns).
+// answerPlan is everything the serving path derives from one client /24
+// spelling: whether it belongs to a client AS, the month/proto-invariant
+// parts of the serving decision, and the answer key and ECS scope. One
+// routing-table walk builds it; every later question about the subnet is
+// answered from the cached plan without touching the trie.
+type answerPlan struct {
+	key   uint64  // record-selection hash (per-/24 in "both" ASes, per-route otherwise)
+	scope uint8   // ECS scope length the server advertises
+	known bool    // subnet belongs to a client AS
+	base  bgp.ASN // serving operator before the fallback ramp
+	// marAkamai: the March fallback ramp keeps this /24 at Akamai (only
+	// meaningful when base == ASAkamaiPR). Hashed from the exact prefix
+	// spelling, matching the historical behavior of the ramp.
+	marAkamai bool
+}
+
+// serving applies the month/proto-dependent part of the plan: the
+// fallback plane was served entirely by Apple until Akamai fallback
+// capacity appeared in March (partial) and April (full) — Table 1's
+// fallback columns.
+func (p answerPlan) serving(month bgp.Month, proto Proto) bgp.ASN {
+	s := p.base
+	if proto == ProtoFallback && s == ASAkamaiPR {
 		switch {
 		case month.Before(MonthMar):
-			serving = ASApple
+			s = ASApple
 		case month == MonthMar:
-			h := iputil.Mix(iputil.HashPrefix(subnet), w.seed^0x7C)
-			if h%100 >= 7 {
-				serving = ASApple
+			if !p.marAkamai {
+				s = ASApple
 			}
 		}
 	}
-	return serving, true
+	return s
+}
+
+// packPrefix packs an IPv4 prefix into the plan-cache key: the address's
+// big-endian 32 bits shifted over the prefix length. Distinct spellings
+// of the same /24 (host bits set vs. masked) pack differently on
+// purpose: plan hashes are computed from the exact spelling, so each
+// spelling memoizes its own — historically faithful — plan.
+func packPrefix(subnet netip.Prefix) (uint64, bool) {
+	addr := subnet.Addr()
+	if !addr.Is4() {
+		return 0, false
+	}
+	a4 := addr.As4()
+	return uint64(binary.BigEndian.Uint32(a4[:]))<<8 | uint64(uint8(subnet.Bits())), true
+}
+
+// planFor returns the memoized answer plan for subnet, building it on
+// first sight. The fast path is one epoch-map lookup: no locks, no
+// allocations, no routing-table walk. Plans are stored by value — a
+// 24-byte copy spares one heap object per /24 in the universe.
+func (w *World) planFor(subnet netip.Prefix) answerPlan {
+	pk, ok := packPrefix(subnet)
+	if !ok {
+		return w.buildPlan(subnet)
+	}
+	if p, ok := w.plans.Get(pk); ok {
+		return p
+	}
+	return w.plans.Put(pk, w.buildPlan(subnet))
+}
+
+
+// buildPlan derives subnet's answer plan with a single routing-table
+// walk. Assignment reproduces the Table 2 structure: whole ASes are
+// Akamai-only or Apple-only, and inside "both" ASes the split is
+// per-/24 with Apple at 76 %.
+func (w *World) buildPlan(subnet netip.Prefix) answerPlan {
+	route, origin, routed := w.Table.Route(subnet.Addr())
+	if !routed {
+		return answerPlan{}
+	}
+	idx, isClient := w.clientIndex(origin)
+	if !isClient {
+		return answerPlan{}
+	}
+	group := w.ClientASes[idx].Group
+
+	p := answerPlan{known: true}
+	canon := iputil.CanonicalPrefix(subnet)
+	switch group {
+	case GroupAkamaiOnly:
+		p.base = ASAkamaiPR
+	case GroupAppleOnly:
+		p.base = ASApple
+	default:
+		h := iputil.Mix(iputil.HashPrefix(canon), w.seed^0xA5)
+		if h%100 < 100-appleShareInBothPct {
+			p.base = ASAkamaiPR
+		} else {
+			p.base = ASApple
+		}
+	}
+	if p.base == ASAkamaiPR {
+		// March fallback ramp: ~7 % of Akamai-served /24s already have
+		// fallback capacity. The hash covers the exact spelling passed in.
+		p.marAkamai = iputil.Mix(iputil.HashPrefix(subnet), w.seed^0x7C)%100 < 7
+	}
+	// Answer key and scope: the /24 inside "both" ASes (operator varies
+	// per /24), the covering route otherwise — so the advertised scope is
+	// honest, one answer per scope. The scanner exploits scopes shorter
+	// than /24 to skip queries (§7).
+	if group == GroupBoth {
+		p.key = iputil.HashPrefix(canon)
+		p.scope = 24
+	} else {
+		p.key = iputil.HashPrefix(route)
+		p.scope = uint8(route.Bits())
+	}
+	return p
+}
+
+// ServingAS decides which ingress operator serves a client /24 on the
+// given plane and month. See buildPlan for the assignment structure.
+func (w *World) ServingAS(subnet netip.Prefix, month bgp.Month, proto Proto) (bgp.ASN, bool) {
+	p := w.planFor(subnet)
+	if !p.known {
+		return 0, false
+	}
+	return p.serving(month, proto), true
 }
 
 // AnswerScope returns the ECS scope prefix length the authoritative server
 // attaches when answering for subnet: /24 inside "both" ASes (operator
 // varies per /24) and the covering route's length for single-operator
-// ASes, where one answer is valid for the whole announcement. The scanner
-// exploits scopes shorter than /24 to skip queries (§7).
+// ASes, where one answer is valid for the whole announcement.
 func (w *World) AnswerScope(subnet netip.Prefix) (uint8, bool) {
-	client, ok := w.ClientOf(subnet.Addr())
-	if !ok {
+	p := w.planFor(subnet)
+	if !p.known {
 		return 0, false
 	}
-	if client.Group == GroupBoth {
-		return 24, true
-	}
-	route, _, ok := w.Table.Route(subnet.Addr())
-	if !ok {
-		return 24, true
-	}
-	return uint8(route.Bits()), true
+	return p.scope, true
 }
 
-// answerKey returns the hash key that selects answer records for a client
-// subnet: the /24 inside "both" ASes, the covering route otherwise (so the
-// advertised scope is honest — one answer per scope).
-func (w *World) answerKey(subnet netip.Prefix) (uint64, bool) {
-	client, ok := w.ClientOf(subnet.Addr())
-	if !ok {
-		return 0, false
-	}
-	if client.Group == GroupBoth {
-		return iputil.HashPrefix(iputil.CanonicalPrefix(subnet)), true
-	}
-	route, _, ok := w.Table.Route(subnet.Addr())
-	if !ok {
-		return iputil.HashPrefix(iputil.CanonicalPrefix(subnet)), true
-	}
-	return iputil.HashPrefix(route), true
+// AnswerClass bundles the per-subnet serving decision for one month and
+// plane: the operator, the record-selection key and the ECS scope, all
+// from a single plan lookup. Callers that need more than one of these —
+// the authoritative server needs all three per query — use this instead
+// of three separate World calls.
+type AnswerClass struct {
+	Serving bgp.ASN
+	Key     uint64
+	Scope   uint8
+	Known   bool
 }
 
-// answerCacheShards spreads the memoized answer sets over independently
-// locked maps so concurrent scan workers rarely contend.
-const answerCacheShards = 64
-
-// answerCacheShardCap bounds each shard; a shard that outgrows it is
-// cleared wholesale. Values are deterministic, so eviction only costs a
-// rebuild — at full scan scale the cache would otherwise retain an entry
-// per /24 in "both" ASes.
-const answerCacheShardCap = 1 << 13
+// AnswerClass classifies subnet for the month/plane in one lookup.
+func (w *World) AnswerClass(subnet netip.Prefix, month bgp.Month, proto Proto) AnswerClass {
+	p := w.planFor(subnet)
+	if !p.known {
+		return AnswerClass{}
+	}
+	return AnswerClass{
+		Serving: p.serving(month, proto),
+		Key:     p.key,
+		Scope:   p.scope,
+		Known:   true,
+	}
+}
 
 // answerCacheKey identifies one memoized answer set. known separates the
 // degenerate "not a client subnet" class (answer key 0, empty answer)
@@ -243,44 +315,6 @@ type answerCacheKey struct {
 	fam     Family
 }
 
-type answerCacheShard struct {
-	mu sync.RWMutex
-	m  map[answerCacheKey][]netip.Addr
-}
-
-// answerCache is a sharded map rather than a sync.Map: sync.Map boxes
-// non-pointer keys on every Load, which would put one allocation back on
-// the per-query path this cache exists to clear.
-type answerCache struct {
-	shards [answerCacheShards]answerCacheShard
-}
-
-func (c *answerCache) get(k answerCacheKey) ([]netip.Addr, bool) {
-	sh := &c.shards[k.key%answerCacheShards]
-	sh.mu.RLock()
-	v, ok := sh.m[k]
-	sh.mu.RUnlock()
-	return v, ok
-}
-
-// put stores v for k and returns the canonical value: the first writer
-// wins, so every caller shares one slice per key.
-func (c *answerCache) put(k answerCacheKey, v []netip.Addr) []netip.Addr {
-	sh := &c.shards[k.key%answerCacheShards]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if have, ok := sh.m[k]; ok {
-		return have
-	}
-	if sh.m == nil {
-		sh.m = make(map[answerCacheKey][]netip.Addr)
-	} else if len(sh.m) >= answerCacheShardCap {
-		clear(sh.m)
-	}
-	sh.m[k] = v
-	return v
-}
-
 // IngressAnswer returns the up-to-eight A records the authoritative name
 // server serves for an ECS query with the given client subnet, for the
 // month/plane. Record selection is deterministic per (subnet, month) —
@@ -288,25 +322,32 @@ func (c *answerCache) put(k answerCacheKey, v []netip.Addr) []netip.Addr {
 // serving operator — so results are memoized per key and the returned
 // slice is shared between callers: treat it as read-only.
 func (w *World) IngressAnswer(subnet netip.Prefix, month bgp.Month, proto Proto) []netip.Addr {
-	subnet = iputil.CanonicalPrefix(subnet)
-	serving, ok := w.ServingAS(subnet, month, proto)
-	if !ok {
+	ac := w.AnswerClass(iputil.CanonicalPrefix(subnet), month, proto)
+	return w.IngressAnswerFor(ac, month, proto)
+}
+
+// IngressAnswerFor returns the A records for an already-classified
+// subnet (see AnswerClass), skipping the plan lookup entirely. Callers
+// that classified the subnet themselves — the authoritative server does,
+// to get the ECS scope — must use this rather than IngressAnswer, or the
+// duplicate plan writes degenerate the plan map's epoch publication.
+func (w *World) IngressAnswerFor(ac AnswerClass, month bgp.Month, proto Proto) []netip.Addr {
+	if !ac.Known {
 		return nil
 	}
-	key, known := w.answerKey(subnet)
-	ck := answerCacheKey{key, known, serving, month, proto, FamilyV4}
-	if out, ok := w.answers.get(ck); ok {
+	ck := answerCacheKey{ac.Key, true, ac.Serving, month, proto, FamilyV4}
+	if out, ok := w.answers.Get(ck); ok {
 		return out
 	}
-	fleet := w.IngressFleet(serving, month, proto, FamilyV4, 0)
+	fleet := w.IngressFleet(ac.Serving, month, proto, FamilyV4, 0)
 	if len(fleet) == 0 {
 		// Plane not yet deployed at this operator: Apple serves it.
 		fleet = w.IngressFleet(ASApple, month, proto, FamilyV4, 0)
 		if len(fleet) == 0 {
-			return w.answers.put(ck, nil)
+			return w.answers.Put(ck, nil)
 		}
 	}
-	return w.answers.put(ck, pickAnswers(fleet, key, month, proto))
+	return w.answers.Put(ck, pickAnswers(fleet, ac.Key, month, proto))
 }
 
 // IngressAnswerV6 returns the AAAA records served to a resolver identified
@@ -321,18 +362,22 @@ func (w *World) IngressAnswerV6(key uint64, month bgp.Month, proto Proto) []neti
 		serving = ASApple
 	}
 	ck := answerCacheKey{key, true, serving, month, proto, FamilyV6}
-	if out, ok := w.answers.get(ck); ok {
+	if out, ok := w.answers.Get(ck); ok {
 		return out
 	}
 	fleet := w.IngressFleet(serving, month, proto, FamilyV6, 0)
-	return w.answers.put(ck, pickAnswers(fleet, key, month, proto))
+	return w.answers.Put(ck, pickAnswers(fleet, key, month, proto))
 }
 
 // AnswerKey exposes the memoization key for subnet's answer set: the
 // hash the serving assignment and record selection are derived from.
-// The boolean mirrors answerKey's "is a client subnet" result.
+// The boolean reports whether subnet belongs to a client AS.
 func (w *World) AnswerKey(subnet netip.Prefix) (uint64, bool) {
-	return w.answerKey(iputil.CanonicalPrefix(subnet))
+	p := w.planFor(iputil.CanonicalPrefix(subnet))
+	if !p.known {
+		return 0, false
+	}
+	return p.key, true
 }
 
 // pickAnswers deterministically selects up to maxAnswerRecords distinct

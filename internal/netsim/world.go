@@ -8,6 +8,7 @@ import (
 
 	"github.com/relay-networks/privaterelay/internal/aspop"
 	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/epochmap"
 	"github.com/relay-networks/privaterelay/internal/iputil"
 )
 
@@ -55,7 +56,13 @@ type World struct {
 	// are deterministic per (answer key, month, proto, family), so the
 	// steady-state serving path returns one shared read-only slice per
 	// equivalence class instead of re-running pickAnswers per query.
-	answers answerCache
+	// Epoch-published: readers never lock.
+	answers epochmap.Map[answerCacheKey, []netip.Addr]
+
+	// plans memoizes per-prefix answer plans (serving assignment, answer
+	// key, ECS scope) so the steady-state serving path never walks the
+	// routing trie. Keyed by the packed exact prefix spelling.
+	plans epochmap.Map[uint64, answerPlan]
 }
 
 type serviceKey struct {

@@ -1,13 +1,24 @@
 // Command benchdiff gates the benchmark trajectory: it compares a fresh
 // benchjson run against a committed baseline (BENCH_exchange.json,
-// BENCH_pipeline.json) and exits non-zero when any shared benchmark
-// regressed beyond the threshold — throughput (items/sec) down, or
-// ns/op up, by more than -threshold percent. CI runs it in the
-// bench-gate job; locally it hides behind `make check BENCH_GATE=1`.
+// BENCH_pipeline.json, BENCH_relay.json) and exits non-zero when any
+// shared benchmark regressed beyond its threshold — throughput
+// (items/sec) down, or ns/op up, by more than the allowed percent. CI
+// runs it in the bench-gate job; locally it hides behind
+// `make check BENCH_GATE=1`.
 //
 // Usage:
 //
-//	benchdiff [-threshold 10] baseline.json fresh.json
+//	benchdiff [-threshold 10] [-threshold-for regex=pct]... baseline.json fresh.json [fresh2.json ...]
+//
+// Noisy benchmarks get two relief valves:
+//
+//   - -threshold-for widens (or tightens) the gate per benchmark:
+//     repeatable, first matching regex wins, e.g.
+//     -threshold-for 'BenchmarkScanThroughput.*=35' for the
+//     single-iteration scan bench whose run-to-run spread is ±15%.
+//   - Passing several fresh files gates on the per-metric median of
+//     the runs (median-of-3 kills one-off scheduler hiccups without
+//     hiding a real trend).
 //
 // Benchmarks present in only one file are listed but never fail the
 // gate: adding or renaming a benchmark should not require a baseline
@@ -19,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -30,6 +43,50 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	ItemsPerSec float64 `json:"items_per_sec"`
 	ItemsUnit   string  `json:"items_unit"`
+}
+
+// thresholdRule is one -threshold-for override.
+type thresholdRule struct {
+	re  *regexp.Regexp
+	pct float64
+}
+
+// thresholds resolves a benchmark name to its gate percentage: the
+// first matching -threshold-for rule, else the global default.
+type thresholds struct {
+	rules      []thresholdRule
+	defaultPct float64
+}
+
+func (t *thresholds) forName(name string) float64 {
+	for _, r := range t.rules {
+		if r.re.MatchString(name) {
+			return r.pct
+		}
+	}
+	return t.defaultPct
+}
+
+// ruleFlag parses repeated `-threshold-for regex=pct` flags.
+type ruleFlag struct{ rules *[]thresholdRule }
+
+func (f ruleFlag) String() string { return "" }
+
+func (f ruleFlag) Set(v string) error {
+	eq := strings.LastIndexByte(v, '=')
+	if eq < 0 {
+		return fmt.Errorf("want regex=pct, got %q", v)
+	}
+	re, err := regexp.Compile(v[:eq])
+	if err != nil {
+		return err
+	}
+	pct, err := strconv.ParseFloat(v[eq+1:], 64)
+	if err != nil {
+		return fmt.Errorf("bad percentage in %q: %w", v, err)
+	}
+	*f.rules = append(*f.rules, thresholdRule{re: re, pct: pct})
+	return nil
 }
 
 // verdict classifies one benchmark's old→new movement.
@@ -72,8 +129,8 @@ type row struct {
 // Throughput metrics gate on relative loss, ns/op on relative growth;
 // a benchmark reporting items/sec is judged on that alone (its ns/op
 // moves inversely and would double-count the same change). The bool
-// reports whether any row regressed beyond thresholdPct.
-func diff(baseline, fresh map[string]Result, thresholdPct float64) ([]row, bool) {
+// reports whether any row regressed beyond its threshold.
+func diff(baseline, fresh map[string]Result, thr *thresholds) ([]row, bool) {
 	names := map[string]bool{}
 	for n := range baseline {
 		names[n] = true
@@ -100,6 +157,7 @@ func diff(baseline, fresh map[string]Result, thresholdPct float64) ([]row, bool)
 			rows = append(rows, row{Name: name, Verdict: verdictOnlyFresh})
 			continue
 		}
+		thresholdPct := thr.forName(name)
 		r := row{Name: name}
 		if old.ItemsPerSec > 0 && cur.ItemsPerSec > 0 {
 			unit := old.ItemsUnit
@@ -130,6 +188,53 @@ func diff(baseline, fresh map[string]Result, thresholdPct float64) ([]row, bool)
 		rows = append(rows, r)
 	}
 	return rows, regressed
+}
+
+// medianResults folds several fresh runs into one result set: each
+// metric is the per-benchmark median over the runs reporting it. A
+// benchmark missing from some runs is judged on the runs that have it.
+func medianResults(runs []map[string]Result) map[string]Result {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	names := map[string]bool{}
+	for _, run := range runs {
+		for n := range run {
+			names[n] = true
+		}
+	}
+	out := make(map[string]Result, len(names))
+	for n := range names {
+		var ns, items []float64
+		unit := ""
+		for _, run := range runs {
+			r, ok := run[n]
+			if !ok {
+				continue
+			}
+			if r.NsPerOp > 0 {
+				ns = append(ns, r.NsPerOp)
+			}
+			if r.ItemsPerSec > 0 {
+				items = append(items, r.ItemsPerSec)
+			}
+			if unit == "" {
+				unit = r.ItemsUnit
+			}
+		}
+		out[n] = Result{NsPerOp: median(ns), ItemsPerSec: median(items), ItemsUnit: unit}
+	}
+	return out
+}
+
+// median returns the middle value (lower-middle for even counts; the
+// conservative pick for a gate) or 0 for an empty set.
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	return vals[(len(vals)-1)/2]
 }
 
 // formatTable renders rows with aligned columns for terminal reading.
@@ -177,13 +282,16 @@ func readResults(path string) (map[string]Result, error) {
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	thr := &thresholds{}
+	flag.Float64Var(&thr.defaultPct, "threshold", 10, "default regression threshold in percent")
+	flag.Var(ruleFlag{&thr.rules}, "threshold-for",
+		"per-benchmark threshold override as regex=pct (repeatable, first match wins)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] baseline.json fresh.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-threshold-for regex=pct]... baseline.json fresh.json [fresh2.json ...]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 {
+	if flag.NArg() < 2 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -192,16 +300,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	fresh, err := readResults(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+	var runs []map[string]Result
+	for _, path := range flag.Args()[1:] {
+		run, err := readResults(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		runs = append(runs, run)
 	}
-	rows, regressed := diff(baseline, fresh, *threshold)
+	rows, regressed := diff(baseline, medianResults(runs), thr)
 	os.Stdout.WriteString(formatTable(rows))
 	if regressed {
-		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% against %s\n",
-			*threshold, flag.Arg(0))
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond threshold against %s\n", flag.Arg(0))
 		os.Exit(1)
 	}
 }

@@ -44,7 +44,7 @@ func TestGateFailsOnSyntheticRegression(t *testing.T) {
 	  "BenchmarkScanThroughput/conc-64": {"ns_per_op": 9000000, "items_per_sec": 3000000, "items_unit": "subnets"},
 	  "BenchmarkAuthServerHandle": {"ns_per_op": 580}
 	}`)
-	rows, regressed := diff(baseline, fresh, 10)
+	rows, regressed := diff(baseline, fresh, &thresholds{defaultPct: 10})
 	if !regressed {
 		t.Fatal("13% throughput drop and 16% ns/op growth did not trip the gate")
 	}
@@ -76,7 +76,7 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 	  "BenchmarkAuthServerHandle": {"ns_per_op": 540},
 	  "BenchmarkNewlyAdded": {"ns_per_op": 77}
 	}`)
-	rows, regressed := diff(baseline, fresh, 10)
+	rows, regressed := diff(baseline, fresh, &thresholds{defaultPct: 10})
 	if regressed {
 		t.Fatalf("gate tripped inside threshold:\n%s", formatTable(rows))
 	}
@@ -96,12 +96,69 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 func TestThroughputJudgedOverNsPerOp(t *testing.T) {
 	baseline := load(t, `{"B": {"ns_per_op": 100, "items_per_sec": 1000, "items_unit": "probes"}}`)
 	fresh := load(t, `{"B": {"ns_per_op": 400, "items_per_sec": 1000, "items_unit": "probes"}}`)
-	rows, regressed := diff(baseline, fresh, 10)
+	rows, regressed := diff(baseline, fresh, &thresholds{defaultPct: 10})
 	if regressed {
 		t.Fatal("flat throughput failed the gate on its ns/op shadow metric")
 	}
 	if rows[0].Metric != "probes/sec" {
 		t.Errorf("judged on %q, want probes/sec", rows[0].Metric)
+	}
+}
+
+// TestPerBenchmarkThreshold: a -threshold-for override widens the gate
+// for the matching benchmark only; the first matching rule wins.
+func TestPerBenchmarkThreshold(t *testing.T) {
+	baseline := load(t, `{
+	  "BenchmarkNoisy": {"ns_per_op": 100},
+	  "BenchmarkQuiet": {"ns_per_op": 100}
+	}`)
+	fresh := load(t, `{
+	  "BenchmarkNoisy": {"ns_per_op": 125},
+	  "BenchmarkQuiet": {"ns_per_op": 125}
+	}`)
+	thr := &thresholds{defaultPct: 10}
+	if err := (ruleFlag{&thr.rules}).Set("BenchmarkNoisy=35"); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ruleFlag{&thr.rules}).Set("BenchmarkNoisy=1"); err != nil { // shadowed: first match wins
+		t.Fatal(err)
+	}
+	rows, regressed := diff(baseline, fresh, thr)
+	if !regressed {
+		t.Fatal("25% growth on the default-threshold benchmark did not trip the gate")
+	}
+	for _, r := range rows {
+		switch r.Name {
+		case "BenchmarkNoisy":
+			if r.Verdict != verdictOK {
+				t.Errorf("widened benchmark verdict = %v, want ok", r.Verdict)
+			}
+		case "BenchmarkQuiet":
+			if r.Verdict != verdictRegressed {
+				t.Errorf("default-threshold benchmark verdict = %v, want REGRESSED", r.Verdict)
+			}
+		}
+	}
+	if err := (ruleFlag{&thr.rules}).Set("no-equals-sign"); err == nil {
+		t.Error("malformed -threshold-for accepted")
+	}
+}
+
+// TestMedianOfRuns: with several fresh runs the gate judges the
+// per-metric median, so one scheduler hiccup cannot fail CI.
+func TestMedianOfRuns(t *testing.T) {
+	baseline := load(t, `{"B": {"ns_per_op": 100}}`)
+	runs := []map[string]Result{
+		load(t, `{"B": {"ns_per_op": 102}}`),
+		load(t, `{"B": {"ns_per_op": 300}}`), // the hiccup
+		load(t, `{"B": {"ns_per_op": 98}}`),
+	}
+	folded := medianResults(runs)
+	if got := folded["B"].NsPerOp; got != 102 {
+		t.Fatalf("median ns/op = %v, want 102", got)
+	}
+	if _, regressed := diff(baseline, folded, &thresholds{defaultPct: 10}); regressed {
+		t.Fatal("one outlier run out of three tripped the gate")
 	}
 }
 

@@ -1,0 +1,222 @@
+// Command relayload is the serving-plane load generator: it drives a
+// configurable number of concurrent simulated tunnel sessions (default
+// one million) ingress→egress over the in-process masque.Plane — the
+// relay analogue of MemTransport on the DNS side — and reports
+// Go-benchmark-style lines on stdout so `relayload | benchjson` yields
+// BENCH_relay.json for the benchdiff CI gate:
+//
+//	BenchmarkRelaySessionSetup   — sessions/sec admission+table insert
+//	BenchmarkRelaySteadyState    — frames/sec through the synchronous
+//	                               relay path, with allocs/op
+//	BenchmarkRelaySubmit         — frames/sec through the async pooled
+//	                               worker-pool pipeline
+//	BenchmarkRelayRejectP99      — p99 latency of a typed reservation
+//	                               rejection (ns/op)
+//
+// The process exits nonzero if fewer than the requested sessions are
+// concurrently live, making `make relay-bench` a load assertion too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/masque"
+	"github.com/relay-networks/privaterelay/internal/vclock"
+)
+
+func main() {
+	var (
+		sessions = flag.Int("sessions", 1_000_000, "concurrent sessions to establish")
+		accounts = flag.Int("accounts", 10_000, "distinct reservation accounts")
+		frames   = flag.Int("frames", 2_000_000, "steady-state frames per relay phase")
+		payload  = flag.Int("payload", 256, "frame payload bytes")
+		workers  = flag.Int("workers", 0, "load-generator goroutines (0 = 2×GOMAXPROCS, min 4)")
+		rejects  = flag.Int("rejects", 200_000, "rejection admissions for the p99 probe")
+		shards   = flag.Int("shards", 1024, "session-table shards")
+		queue    = flag.Int("queue", 4096, "async pipeline queue depth")
+	)
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = 2 * runtime.GOMAXPROCS(0)
+		if w < 4 {
+			w = 4
+		}
+	}
+
+	perAccount := int32(2 * (*sessions / *accounts))
+	if perAccount < 2 {
+		perAccount = 2
+	}
+	rs := masque.NewReservations(masque.Limits{
+		Duration:    24 * time.Hour,
+		DataCap:     1 << 62,
+		MaxSessions: perAccount,
+	}, vclock.NewVirtualClock())
+	plane := masque.NewPlane(masque.PlaneConfig{
+		Shards:       *shards,
+		QueueDepth:   *queue,
+		Reservations: rs,
+	})
+	defer plane.Shutdown()
+
+	// Phase 1: session setup. Every session is an admission (reservation
+	// registry) plus a sharded-table insert, fanned across workers.
+	ids := make([]uint32, *sessions)
+	setupNs := runPhase(w, *sessions, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s, code := plane.Open(accountName(i % *accounts))
+			if code != masque.RejectNone {
+				fail("session %d rejected: %s", i, code)
+			}
+			ids[i] = s.ID()
+		}
+	})
+	live := plane.Stats().Sessions
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(os.Stderr, "relayload: %d concurrent sessions live (target %d), heap %d MiB\n",
+		live, *sessions, ms.HeapAlloc>>20)
+	if live < *sessions {
+		fail("only %d of %d sessions live", live, *sessions)
+	}
+	benchLine("BenchmarkRelaySessionSetup", *sessions, setupNs, "sessions/sec", -1)
+
+	// Phase 2: synchronous steady state. Each worker reuses one pooled
+	// frame, walking its session range so every frame exercises the
+	// sharded lookup, the reservation debit and the delivery counters.
+	body := make([]byte, *payload)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	relayRange := func(worker, lo, hi int) {
+		f := masque.AcquireFrame()
+		defer masque.ReleaseFrame(f)
+		f.Type = masque.FrameData
+		f.SetPayload(body)
+		for i := lo; i < hi; i++ {
+			f.StreamID = ids[i%*sessions]
+			if code := plane.Relay(f); code != masque.RejectNone {
+				fail("steady-state frame rejected: %s", code)
+			}
+		}
+	}
+	runPhase(w, *frames/10+1, relayRange) // warm pools and per-frame state
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	mallocs0 := ms.Mallocs
+	steadyNs := runPhase(w, *frames, relayRange)
+	runtime.ReadMemStats(&ms)
+	allocsPerFrame := float64(ms.Mallocs-mallocs0) / float64(*frames)
+	benchLine("BenchmarkRelaySteadyState", *frames, steadyNs, "frames/sec", allocsPerFrame)
+
+	// Phase 3: async pipeline. Producers acquire pooled frames and hand
+	// ownership to the plane's ingress worker pool; the egress pool
+	// delivers and releases.
+	submitRange := func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f := masque.AcquireFrame()
+			f.Type = masque.FrameData
+			f.StreamID = ids[i%*sessions]
+			f.SetPayload(body)
+			plane.Submit(f)
+		}
+	}
+	delivered0 := plane.Stats().FramesRelayed
+	submitNs := runPhase(w, *frames, submitRange)
+	// Settle the queues so frames/sec counts delivered, not enqueued.
+	for plane.Stats().FramesRelayed-delivered0 < int64(*frames) {
+		time.Sleep(time.Millisecond)
+		submitNs += int64(time.Millisecond)
+	}
+	benchLine("BenchmarkRelaySubmit", *frames, submitNs, "frames/sec", -1)
+
+	// Phase 4: p99 latency of a typed rejection. A saturated account
+	// (MaxSessions=1) answers every admission with
+	// RESOURCE_LIMIT_EXCEEDED; the probe times each rejected Open.
+	rejRS := masque.NewReservations(masque.Limits{MaxSessions: 1}, vclock.NewVirtualClock())
+	rejPlane := masque.NewPlane(masque.PlaneConfig{Reservations: rejRS})
+	defer rejPlane.Shutdown()
+	if _, code := rejPlane.Open("saturated"); code != masque.RejectNone {
+		fail("saturating session rejected: %s", code)
+	}
+	lat := make([]int64, *rejects)
+	var next atomic.Int64
+	runPhase(w, *rejects, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t0 := time.Now()
+			_, code := rejPlane.Open("saturated")
+			d := time.Since(t0)
+			if code != masque.RejectSessionLimit {
+				fail("expected RESOURCE_LIMIT_EXCEEDED, got %s", code)
+			}
+			lat[next.Add(1)-1] = int64(d)
+		}
+	})
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[(*rejects)*99/100]
+	fmt.Printf("%s %d %d ns/op\n", "BenchmarkRelayRejectP99", *rejects, p99)
+
+	// Tear down: close all sessions and confirm the table drains.
+	runPhase(w, *sessions, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s, ok := plane.Session(ids[i])
+			if ok {
+				plane.Close(s)
+			}
+		}
+	})
+	if n := plane.Stats().Sessions; n != 0 {
+		fail("%d sessions leaked after close", n)
+	}
+}
+
+// runPhase splits n items across w workers and returns the phase's
+// wall-clock nanoseconds.
+func runPhase(w, n int, f func(worker, lo, hi int)) int64 {
+	var wg sync.WaitGroup
+	start := time.Now()
+	per := (n + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo, hi := i*per, (i+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			f(worker, lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	return int64(time.Since(start))
+}
+
+// benchLine prints one go-test-style benchmark line benchjson can parse.
+func benchLine(name string, n int, totalNs int64, itemUnit string, allocsPerOp float64) {
+	nsPerOp := float64(totalNs) / float64(n)
+	perSec := float64(n) / (float64(totalNs) / float64(time.Second))
+	if allocsPerOp >= 0 {
+		fmt.Printf("%s %d %.1f ns/op %.0f %s %.3f allocs/op\n", name, n, nsPerOp, perSec, itemUnit, allocsPerOp)
+		return
+	}
+	fmt.Printf("%s %d %.1f ns/op %.0f %s\n", name, n, nsPerOp, perSec, itemUnit)
+}
+
+func accountName(i int) string { return fmt.Sprintf("acct%05d", i) }
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "relayload: "+format+"\n", args...)
+	os.Exit(1)
+}

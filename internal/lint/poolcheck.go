@@ -6,27 +6,73 @@ import (
 	"go/types"
 )
 
-// Poolcheck enforces the dnswire message-pool ownership rules that the
-// zero-allocation exchange path depends on:
+// Poolcheck enforces the sync.Pool ownership discipline the
+// zero-allocation hot paths depend on, for every registered pool API
+// (the dnswire message pool and the masque frame pool):
 //
-//   - every dnswire.AcquireMessage result is released on all
-//     control-flow paths — by dnswire.ReleaseMessage directly or via a
-//     (possibly same-package) callee that releases its parameter — or
-//     explicitly handed to the caller by returning it;
-//   - a message is never used after ReleaseMessage, and never released
+//   - every Acquire result is released on all control-flow paths — by
+//     the pool's Release directly or via a (possibly same-package)
+//     callee that releases its parameter — or explicitly handed to the
+//     caller by returning it;
+//   - a pooled value is never used after Release, and never released
 //     twice;
-//   - a pooled message is never stored into a struct field, global or
+//   - a pooled value is never stored into a struct field, global or
 //     container, which would let the pool recycle it behind a retained
 //     reference.
 //
 // The analysis is per-function with same-package interprocedural
-// release tracking; acquired messages captured by closures are skipped
+// release tracking; acquired values captured by closures are skipped
 // (conservatively unchecked) rather than misreported.
 var Poolcheck = &Analyzer{
 	Name: "poolcheck",
-	Doc: "dnswire.AcquireMessage must be paired with ReleaseMessage on every " +
-		"path, with no use after release and no stores of pooled messages",
+	Doc: "pool Acquire functions (dnswire.AcquireMessage, masque.AcquireFrame) " +
+		"must be paired with their Release on every path, with no use after " +
+		"release and no stores of pooled values",
 	Run: runPoolcheck,
+}
+
+// poolAPI describes one acquire/release pair under the discipline.
+type poolAPI struct {
+	pkgSuffix string // import-path suffix identifying the pool package
+	pkgName   string // short name used in diagnostics
+	acquire   string
+	release   string
+	noun      string // what the pool recycles, for diagnostics
+}
+
+// poolAPIs is the registry poolcheck guards. New pools following the
+// dnswire provenance-flag pattern are added here.
+var poolAPIs = []poolAPI{
+	{pkgSuffix: "internal/dnswire", pkgName: "dnswire", acquire: "AcquireMessage", release: "ReleaseMessage", noun: "message"},
+	{pkgSuffix: "internal/masque", pkgName: "masque", acquire: "AcquireFrame", release: "ReleaseFrame", noun: "frame"},
+}
+
+// poolAPIForAcquire returns the pool API fn acquires from, if any.
+func poolAPIForAcquire(fn *types.Func) *poolAPI {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	for i := range poolAPIs {
+		api := &poolAPIs[i]
+		if fn.Name() == api.acquire && hasPathSuffix(fn.Pkg().Path(), api.pkgSuffix) {
+			return api
+		}
+	}
+	return nil
+}
+
+// poolAPIForRelease returns the pool API fn releases into, if any.
+func poolAPIForRelease(fn *types.Func) *poolAPI {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	for i := range poolAPIs {
+		api := &poolAPIs[i]
+		if fn.Name() == api.release && hasPathSuffix(fn.Pkg().Path(), api.pkgSuffix) {
+			return api
+		}
+	}
+	return nil
 }
 
 func runPoolcheck(pass *Pass) error {
@@ -116,14 +162,14 @@ func paramObjs(pass *Pass, fd *ast.FuncDecl) []types.Object {
 }
 
 // releasingArgIndex reports which argument position of call is released
-// by the callee: 0 for dnswire.ReleaseMessage itself, the releasing
+// by the callee: 0 for a pool Release function itself, the releasing
 // parameter index for a same-package releaser, -1 otherwise.
 func releasingArgIndex(pass *Pass, rel releaserSet, call *ast.CallExpr) int {
 	fn := calleeFunc(pass.Info, call)
 	if fn == nil {
 		return -1
 	}
-	if fn.Name() == "ReleaseMessage" && fn.Pkg() != nil && hasPathSuffix(fn.Pkg().Path(), "internal/dnswire") {
+	if poolAPIForRelease(fn) != nil {
 		return 0
 	}
 	for idx := range rel[fn] {
@@ -132,10 +178,9 @@ func releasingArgIndex(pass *Pass, rel releaserSet, call *ast.CallExpr) int {
 	return -1
 }
 
-func isAcquireCall(pass *Pass, call *ast.CallExpr) bool {
-	fn := calleeFunc(pass.Info, call)
-	return fn != nil && fn.Name() == "AcquireMessage" && fn.Pkg() != nil &&
-		hasPathSuffix(fn.Pkg().Path(), "internal/dnswire")
+// acquireAPI returns the pool API behind call when it is an Acquire.
+func acquireAPI(pass *Pass, call *ast.CallExpr) *poolAPI {
+	return poolAPIForAcquire(calleeFunc(pass.Info, call))
 }
 
 func checkPoolFunc(pass *Pass, fd *ast.FuncDecl, rel releaserSet) {
@@ -145,26 +190,30 @@ func checkPoolFunc(pass *Pass, fd *ast.FuncDecl, rel releaserSet) {
 		if !ok {
 			return true
 		}
-		if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok && isAcquireCall(pass, call) {
-			pass.Reportf(call.Pos(), "result of dnswire.AcquireMessage discarded: the message leaks from the pool")
+		if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+			if api := acquireAPI(pass, call); api != nil {
+				pass.Reportf(call.Pos(), "result of %s.%s discarded: the %s leaks from the pool",
+					api.pkgName, api.acquire, api.noun)
+			}
 		}
 		return true
 	})
 
-	// Track each `v := dnswire.AcquireMessage()` through the function.
+	// Track each `v := Acquire...()` through the function.
 	for _, site := range acquireSites(pass, fd) {
 		if capturedByClosure(pass, fd, site.obj) {
 			continue // conservatively unchecked rather than misreported
 		}
-		w := &poolWalker{pass: pass, rel: rel, v: site.obj, acquire: site.stmt, seen: map[token.Pos]bool{}}
+		w := &poolWalker{pass: pass, rel: rel, v: site.obj, acquire: site.stmt, api: site.api, seen: map[token.Pos]bool{}}
 		st, _ := w.walkStmts(fd.Body.List, pstate{untracked: true})
 		if st.live && !st.deferRel {
 			w.leak = true
 		}
 		if w.leak {
+			api := site.api
 			pass.Reportf(site.stmt.Pos(),
-				"message %s from dnswire.AcquireMessage is not released on every path (pair it with dnswire.ReleaseMessage, hand it to a releasing callee, or return it)",
-				site.obj.Name())
+				"%s %s from %s.%s is not released on every path (pair it with %s.%s, hand it to a releasing callee, or return it)",
+				api.noun, site.obj.Name(), api.pkgName, api.acquire, api.pkgName, api.release)
 		}
 	}
 
@@ -183,6 +232,7 @@ func checkPoolFunc(pass *Pass, fd *ast.FuncDecl, rel releaserSet) {
 type acquireSite struct {
 	stmt *ast.AssignStmt
 	obj  types.Object
+	api  *poolAPI
 }
 
 func acquireSites(pass *Pass, fd *ast.FuncDecl) []acquireSite {
@@ -193,7 +243,11 @@ func acquireSites(pass *Pass, fd *ast.FuncDecl) []acquireSite {
 			return true
 		}
 		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
-		if !ok || !isAcquireCall(pass, call) {
+		if !ok {
+			return true
+		}
+		api := acquireAPI(pass, call)
+		if api == nil {
 			return true
 		}
 		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
@@ -205,7 +259,7 @@ func acquireSites(pass *Pass, fd *ast.FuncDecl) []acquireSite {
 			obj = pass.Info.Uses[id]
 		}
 		if obj != nil {
-			out = append(out, acquireSite{stmt: as, obj: obj})
+			out = append(out, acquireSite{stmt: as, obj: obj, api: api})
 		}
 		return true
 	})
@@ -264,6 +318,7 @@ type poolWalker struct {
 	rel     releaserSet
 	v       types.Object
 	acquire *ast.AssignStmt
+	api     *poolAPI
 	loops   []*loopCtx
 	leak    bool
 	seen    map[token.Pos]bool
@@ -484,7 +539,7 @@ func (w *poolWalker) walkClauses(stmt ast.Stmt, st pstate) (pstate, bool) {
 func (w *poolWalker) applyCall(call *ast.CallExpr, st pstate) pstate {
 	if i := releasingArgIndex(w.pass, w.rel, call); i >= 0 && i < len(call.Args) {
 		if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok && w.isV(id) {
-			if calleeFunc(w.pass.Info, call).Name() == "ReleaseMessage" {
+			if poolAPIForRelease(calleeFunc(w.pass.Info, call)) != nil {
 				return pstate{released: true, deferRel: st.deferRel}
 			}
 			return pstate{escaped: true, deferRel: st.deferRel}
@@ -519,8 +574,8 @@ func (w *poolWalker) checkStore(as *ast.AssignStmt, st pstate) {
 		if what != "" && !w.seen[as.Pos()] {
 			w.seen[as.Pos()] = true
 			w.pass.Reportf(as.Pos(),
-				"pooled message %s stored in %s: the pool will recycle it behind this reference",
-				w.v.Name(), what)
+				"pooled %s %s stored in %s: the pool will recycle it behind this reference",
+				w.api.noun, w.v.Name(), what)
 		}
 	}
 }
@@ -541,8 +596,8 @@ func (w *poolWalker) exprMentionsV(e ast.Expr) bool {
 }
 
 // scanBlockAfterRelease reports straight-line uses of a variable after
-// dnswire.ReleaseMessage(v) in the same block, including double
-// releases. Tracking stops at a rebinding of v.
+// a pool Release(v) in the same block, including double releases.
+// Tracking stops at a rebinding of v.
 func scanBlockAfterRelease(pass *Pass, block *ast.BlockStmt) {
 	for i, stmt := range block.List {
 		es, ok := stmt.(*ast.ExprStmt)
@@ -553,9 +608,8 @@ func scanBlockAfterRelease(pass *Pass, block *ast.BlockStmt) {
 		if !ok {
 			continue
 		}
-		fn := calleeFunc(pass.Info, call)
-		if fn == nil || fn.Name() != "ReleaseMessage" || fn.Pkg() == nil ||
-			!hasPathSuffix(fn.Pkg().Path(), "internal/dnswire") || len(call.Args) != 1 {
+		api := poolAPIForRelease(calleeFunc(pass.Info, call))
+		if api == nil || len(call.Args) != 1 {
 			continue
 		}
 		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
@@ -566,11 +620,11 @@ func scanBlockAfterRelease(pass *Pass, block *ast.BlockStmt) {
 		if v == nil {
 			continue
 		}
-		scanUsesAfter(pass, block.List[i+1:], v)
+		scanUsesAfter(pass, block.List[i+1:], v, api)
 	}
 }
 
-func scanUsesAfter(pass *Pass, stmts []ast.Stmt, v types.Object) {
+func scanUsesAfter(pass *Pass, stmts []ast.Stmt, v types.Object, api *poolAPI) {
 	for _, stmt := range stmts {
 		if as, ok := stmt.(*ast.AssignStmt); ok {
 			rebound := false
@@ -582,7 +636,7 @@ func scanUsesAfter(pass *Pass, stmts []ast.Stmt, v types.Object) {
 			}
 			// The RHS still runs with the released value.
 			for _, rhs := range as.Rhs {
-				if reportUse(pass, rhs, v) {
+				if reportUse(pass, rhs, v, api) {
 					return
 				}
 			}
@@ -593,30 +647,28 @@ func scanUsesAfter(pass *Pass, stmts []ast.Stmt, v types.Object) {
 		}
 		if es, ok := stmt.(*ast.ExprStmt); ok {
 			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
-				fn := calleeFunc(pass.Info, call)
-				if fn != nil && fn.Name() == "ReleaseMessage" && fn.Pkg() != nil &&
-					hasPathSuffix(fn.Pkg().Path(), "internal/dnswire") && len(call.Args) == 1 {
+				if poolAPIForRelease(calleeFunc(pass.Info, call)) != nil && len(call.Args) == 1 {
 					if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.Info.Uses[id] == v {
-						pass.Reportf(call.Pos(), "message %s released twice", v.Name())
+						pass.Reportf(call.Pos(), "%s %s released twice", api.noun, v.Name())
 						return
 					}
 				}
 			}
 		}
-		if reportUse(pass, stmt, v) {
+		if reportUse(pass, stmt, v, api) {
 			return
 		}
 	}
 }
 
-func reportUse(pass *Pass, n ast.Node, v types.Object) bool {
+func reportUse(pass *Pass, n ast.Node, v types.Object, api *poolAPI) bool {
 	reported := false
 	ast.Inspect(n, func(m ast.Node) bool {
 		if reported {
 			return false
 		}
 		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == v {
-			pass.Reportf(id.Pos(), "use of message %s after dnswire.ReleaseMessage", v.Name())
+			pass.Reportf(id.Pos(), "use of %s %s after %s.%s", api.noun, v.Name(), api.pkgName, api.release)
 			reported = true
 		}
 		return !reported

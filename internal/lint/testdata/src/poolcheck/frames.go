@@ -1,0 +1,98 @@
+// The masque frame pool rides the same acquire/release discipline as
+// dnswire's message pool; this file seeds the frame-flavoured
+// violation classes plus the quiet ownership patterns, proving the
+// analyzer's pool-API table covers both pools.
+package poolcheckdata
+
+import (
+	"github.com/relay-networks/privaterelay/internal/masque"
+)
+
+var retainedFrame *masque.Frame
+
+type frameHolder struct {
+	f *masque.Frame
+}
+
+// frameLeakOnErrorPath releases on the happy path only.
+func frameLeakOnErrorPath(fail bool) {
+	f := masque.AcquireFrame() // want "frame f from masque.AcquireFrame is not released on every path"
+	if fail {
+		return
+	}
+	masque.ReleaseFrame(f)
+}
+
+// frameDiscarded drops the acquired frame on the floor.
+func frameDiscarded() {
+	masque.AcquireFrame() // want "result of masque.AcquireFrame discarded"
+}
+
+// frameUseAfterRelease touches the frame after handing it back.
+func frameUseAfterRelease() uint32 {
+	f := masque.AcquireFrame()
+	masque.ReleaseFrame(f)
+	return f.StreamID // want "use of frame f after masque.ReleaseFrame"
+}
+
+// frameDoubleRelease returns the frame to the pool twice.
+func frameDoubleRelease() {
+	f := masque.AcquireFrame()
+	masque.ReleaseFrame(f)
+	masque.ReleaseFrame(f) // want "frame f released twice"
+}
+
+// frameStoreInField retains a pooled frame beyond its lifetime.
+func frameStoreInField(h *frameHolder) {
+	f := masque.AcquireFrame()
+	h.f = f // want "pooled frame f stored in struct field f"
+	masque.ReleaseFrame(f)
+}
+
+// frameStoreInGlobal retains a pooled frame in package state.
+func frameStoreInGlobal() {
+	f := masque.AcquireFrame()
+	retainedFrame = f // want "pooled frame f stored in package-level variable retainedFrame"
+	masque.ReleaseFrame(f)
+}
+
+// frameDeferredRelease is the canonical quiet pattern.
+func frameDeferredRelease() uint32 {
+	f := masque.AcquireFrame()
+	defer masque.ReleaseFrame(f)
+	return f.StreamID
+}
+
+// frameTransferByReturn hands ownership to the caller.
+func frameTransferByReturn() *masque.Frame {
+	f := masque.AcquireFrame()
+	f.Type = masque.FrameData
+	return f
+}
+
+// frameReleaseInCallee transfers to a same-package releasing helper.
+func frameReleaseInCallee() {
+	f := masque.AcquireFrame()
+	recycleFrame(f)
+}
+
+func recycleFrame(f *masque.Frame) {
+	masque.ReleaseFrame(f)
+}
+
+// frameReleasedBothPaths is quiet: every path settles the frame.
+func frameReleasedBothPaths(fail bool) {
+	f := masque.AcquireFrame()
+	if fail {
+		masque.ReleaseFrame(f)
+		return
+	}
+	masque.ReleaseFrame(f)
+}
+
+// frameSuppressedLeak pins that //lint:allow still works for the frame
+// pool.
+func frameSuppressedLeak() {
+	f := masque.AcquireFrame() //lint:allow poolcheck — ownership moves through a side table the analyzer cannot see
+	_ = f
+}

@@ -26,13 +26,21 @@ type Client struct {
 	// Dialer opens the client→ingress leg; nil uses net.Dialer.
 	Dialer Dialer
 
-	mu       sync.Mutex
-	conn     net.Conn
-	nextID   uint32
-	streams  map[uint32]*Stream
-	udpFlows map[uint32]*UDPFlow
-	readErr  error
-	closed   bool
+	mu      sync.Mutex
+	conn    net.Conn
+	nextID  uint32
+	demux   *demuxTable
+	readErr error
+	closed  bool
+
+	// wmu orders tunnel writes; enc turns each frame (or Write batch)
+	// into a single conn write, so concurrent streams can never
+	// interleave partial frames.
+	wmu sync.Mutex
+	enc FrameEncoder
+
+	reservation    ReservationInfo
+	hasReservation bool
 }
 
 // Client errors.
@@ -42,7 +50,9 @@ var (
 	ErrConnectFailed = errors.New("masque: egress could not reach target")
 )
 
-// Dial establishes the tunnel: TCP to the ingress, AUTH, AUTH_OK.
+// Dial establishes the tunnel: TCP to the ingress, AUTH, then AUTH_OK —
+// or, against a reservation-gated ingress, RESERVE_OK carrying the
+// granted limits, or a typed REJECT surfaced as *RejectionError.
 func (c *Client) Dial() error {
 	d := c.Dialer
 	if d == nil {
@@ -65,18 +75,48 @@ func (c *Client) Dial() error {
 		conn.Close()
 		return fmt.Errorf("masque: waiting for auth reply: %w", err)
 	}
-	if f.Type != FrameAuthOK {
+	var info ReservationInfo
+	var hasInfo bool
+	switch f.Type {
+	case FrameAuthOK:
+	case FrameReserveOK:
+		if info, err = ParseReservationInfo(f.Payload); err != nil {
+			conn.Close()
+			return err
+		}
+		hasInfo = true
+	case FrameReject:
+		conn.Close()
+		code, msg, perr := ParseReject(f.Payload)
+		if perr != nil {
+			return fmt.Errorf("%w: unreadable rejection", ErrAuthRejected)
+		}
+		return &RejectionError{Code: code, Msg: msg}
+	default:
 		conn.Close()
 		return fmt.Errorf("%w: %s", ErrAuthRejected, f.Payload)
 	}
+	demux := newDemuxTable()
 	c.mu.Lock()
 	c.conn = conn
 	c.nextID = 1
-	c.streams = make(map[uint32]*Stream)
-	c.udpFlows = make(map[uint32]*UDPFlow)
+	c.demux = demux
+	c.reservation = info
+	c.hasReservation = hasInfo
 	c.mu.Unlock()
-	go c.demux(br)
+	c.wmu.Lock()
+	c.enc.Reset(conn)
+	c.wmu.Unlock()
+	go c.run(br, demux)
 	return nil
+}
+
+// Reservation returns the limits the ingress granted at Dial time, and
+// whether the tunnel is reservation-gated at all.
+func (c *Client) Reservation() (ReservationInfo, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reservation, c.hasReservation
 }
 
 // Close tears the tunnel down; all streams fail with ErrTunnelClosed.
@@ -95,33 +135,24 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// demux routes incoming frames to their streams.
-func (c *Client) demux(br *bufio.Reader) {
+// run is the demux loop: it routes incoming frames to their streams
+// through the sharded demux table.
+func (c *Client) run(br *bufio.Reader, demux *demuxTable) {
+	fr := NewFrameReader(br)
+	f := AcquireFrame()
+	defer ReleaseFrame(f)
 	for {
-		f, err := ReadFrame(br)
-		if err != nil {
+		if err := fr.ReadInto(f); err != nil {
 			c.mu.Lock()
 			c.readErr = err
-			streams := c.streams
-			flows := c.udpFlows
-			c.streams = map[uint32]*Stream{}
-			c.udpFlows = map[uint32]*UDPFlow{}
 			c.mu.Unlock()
-			for _, s := range streams {
-				s.fail(ErrTunnelClosed)
-			}
-			for _, u := range flows {
-				u.setupDone(netip.Addr{}, ErrTunnelClosed)
-				u.closeInbox()
-			}
+			demux.failAll(ErrTunnelClosed)
 			return
 		}
-		c.mu.Lock()
-		s := c.streams[f.StreamID]
-		u := c.udpFlows[f.StreamID]
-		c.mu.Unlock()
+		e := demux.lookup(f.StreamID)
 		switch {
-		case s != nil:
+		case e.s != nil:
+			s := e.s
 			switch f.Type {
 			case FrameConnectOK:
 				addr, _ := netip.ParseAddr(string(f.Payload))
@@ -135,7 +166,8 @@ func (c *Client) demux(br *bufio.Reader) {
 			default:
 				// Unknown frame types on a stream are dropped.
 			}
-		case u != nil:
+		case e.u != nil:
+			u := e.u
 			switch f.Type {
 			case FrameConnectOK:
 				addr, _ := netip.ParseAddr(string(f.Payload))
@@ -153,7 +185,7 @@ func (c *Client) demux(br *bufio.Reader) {
 	}
 }
 
-// writeFrame serializes one frame into the tunnel.
+// writeFrame serializes one frame into the tunnel as a single write.
 func (c *Client) writeFrame(f *Frame) error {
 	c.mu.Lock()
 	conn := c.conn
@@ -162,7 +194,40 @@ func (c *Client) writeFrame(f *Frame) error {
 	if closed || conn == nil {
 		return ErrTunnelClosed
 	}
-	return WriteFrame(conn, f)
+	c.wmu.Lock()
+	err := c.enc.WriteFrame(f)
+	c.wmu.Unlock()
+	return err
+}
+
+// writeData chunks p into DATA frames for stream id and flushes the
+// whole batch in one conn write.
+func (c *Client) writeData(id uint32, p []byte) (int, error) {
+	c.mu.Lock()
+	conn := c.conn
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || conn == nil {
+		return 0, ErrTunnelClosed
+	}
+	const chunk = 16 * 1024
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	written := 0
+	f := Frame{Type: FrameData, StreamID: id}
+	for len(p) > 0 {
+		n := len(p)
+		if n > chunk {
+			n = chunk
+		}
+		f.Payload = p[:n]
+		if err := c.enc.Append(&f); err != nil {
+			return written, err
+		}
+		written += n
+		p = p[n:]
+	}
+	return written, c.enc.Flush()
 }
 
 // Open proxies a new connection to target ("host:port") through the
@@ -182,8 +247,9 @@ func (c *Client) Open(target string) (*Stream, netip.Addr, error) {
 		setup:  make(chan struct{}),
 		data:   make(chan []byte, 64),
 	}
-	c.streams[id] = s
+	demux := c.demux
 	c.mu.Unlock()
+	demux.putStream(id, s)
 
 	sealed := Seal(EgressIDForAddr(c.EgressAddr), ConnectPayload(target, c.Geohash))
 	if err := c.writeFrame(&Frame{Type: FrameConnect, StreamID: id, Payload: sealed}); err != nil {
@@ -200,8 +266,11 @@ func (c *Client) Open(target string) (*Stream, netip.Addr, error) {
 
 func (c *Client) dropStream(id uint32) {
 	c.mu.Lock()
-	delete(c.streams, id)
+	demux := c.demux
 	c.mu.Unlock()
+	if demux != nil {
+		demux.drop(id)
+	}
 }
 
 // Stream is one proxied connection. It implements io.ReadWriteCloser.
@@ -297,22 +366,10 @@ func (s *Stream) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Write implements io.Writer.
+// Write implements io.Writer; large writes are chunked into frames and
+// flushed to the tunnel as one batch.
 func (s *Stream) Write(p []byte) (int, error) {
-	const chunk = 16 * 1024
-	written := 0
-	for len(p) > 0 {
-		n := len(p)
-		if n > chunk {
-			n = chunk
-		}
-		if err := s.client.writeFrame(&Frame{Type: FrameData, StreamID: s.id, Payload: p[:n]}); err != nil {
-			return written, err
-		}
-		written += n
-		p = p[n:]
-	}
-	return written, nil
+	return s.client.writeData(s.id, p)
 }
 
 // Close sends a CLOSE for the stream and releases client state.

@@ -8,6 +8,7 @@ import (
 	"net/netip"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/relay-networks/privaterelay/internal/iputil"
 )
@@ -84,30 +85,23 @@ type Egress struct {
 	// WritePreamble controls the simulated source-address preamble
 	// (default true — targets in this toolkit expect it).
 	DisablePreamble bool
+	// Workers fixes the tunnel worker-pool size (0 means
+	// defaultServeWorkers).
+	Workers int
 
 	mu     sync.Mutex
 	ln     net.Listener
-	nConns uint64
+	nConns atomic.Uint64
 	wg     sync.WaitGroup
 }
 
-// Serve accepts tunnels on ln until it is closed.
+// Serve accepts tunnels on ln until it is closed, handing them to a
+// fixed worker pool (see Ingress.Serve).
 func (eg *Egress) Serve(ln net.Listener) error {
 	eg.mu.Lock()
 	eg.ln = ln
 	eg.mu.Unlock()
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			eg.wg.Wait()
-			return err
-		}
-		eg.wg.Add(1)
-		go func() {
-			defer eg.wg.Done()
-			eg.handle(conn)
-		}()
-	}
+	return servePool(ln, workersPoolSize(eg.Workers), &eg.wg, eg.handle)
 }
 
 // Close stops the listener.
@@ -121,59 +115,55 @@ func (eg *Egress) Close() error {
 	return ln.Close()
 }
 
-// stream is the egress-side state of one proxied connection.
-type egressStream struct {
-	target net.Conn
+// tunnelWriter serializes frames written back into one tunnel: the
+// mutex orders concurrent writers (connect handlers, per-stream pumps)
+// and the encoder turns each frame into a single conn write.
+type tunnelWriter struct {
+	mu  sync.Mutex
+	enc FrameEncoder
+}
+
+func newTunnelWriter(w io.Writer) *tunnelWriter {
+	tw := &tunnelWriter{}
+	tw.enc.Reset(w)
+	return tw
+}
+
+func (tw *tunnelWriter) writeFrame(f *Frame) error {
+	tw.mu.Lock()
+	err := tw.enc.WriteFrame(f)
+	tw.mu.Unlock()
+	return err
 }
 
 func (eg *Egress) handle(tunnel net.Conn) {
 	defer tunnel.Close()
 	br := bufio.NewReader(tunnel)
-	var wmu sync.Mutex // serializes frames written back into the tunnel
-	writeFrame := func(f *Frame) error {
-		wmu.Lock()
-		defer wmu.Unlock()
-		return WriteFrame(tunnel, f)
-	}
+	tw := newTunnelWriter(tunnel)
 
-	streams := make(map[uint32]*egressStream)
-	assocs := make(map[uint32]*udpAssoc)
-	var smu sync.Mutex
-	defer func() {
-		smu.Lock()
-		for _, st := range streams {
-			st.target.Close()
-		}
-		for _, a := range assocs {
-			a.conn.Close()
-		}
-		smu.Unlock()
-	}()
+	sessions := newTunnelSessions()
+	defer sessions.closeAll()
 
+	fr := NewFrameReader(br)
+	f := AcquireFrame()
+	defer ReleaseFrame(f)
 	for {
-		f, err := ReadFrame(br)
-		if err != nil {
+		if err := fr.ReadInto(f); err != nil {
 			return
 		}
 		switch f.Type {
 		case FrameConnect:
-			eg.handleConnect(f, writeFrame, streams, &smu)
+			eg.handleConnect(f, tw, sessions)
 		case FrameConnectUDP:
-			eg.handleConnectUDP(f, writeFrame, assocs, &smu)
+			eg.handleConnectUDP(f, tw, sessions)
 		case FrameData:
-			smu.Lock()
-			st := streams[f.StreamID]
-			smu.Unlock()
-			if st != nil {
-				if _, err := st.target.Write(f.Payload); err != nil {
-					st.target.Close()
+			if target := sessions.stream(f.StreamID); target != nil {
+				if _, err := target.Write(f.Payload); err != nil {
+					target.Close()
 				}
 			}
 		case FrameDatagram:
-			smu.Lock()
-			a := assocs[f.StreamID]
-			smu.Unlock()
-			if a != nil {
+			if a := sessions.assoc(f.StreamID); a != nil {
 				src := a.src
 				if eg.DisablePreamble {
 					src = netip.Addr{}
@@ -181,27 +171,16 @@ func (eg *Egress) handle(tunnel net.Conn) {
 				sendAssocDatagram(a, src, f.Payload)
 			}
 		case FrameClose:
-			smu.Lock()
-			st := streams[f.StreamID]
-			delete(streams, f.StreamID)
-			a := assocs[f.StreamID]
-			delete(assocs, f.StreamID)
-			smu.Unlock()
-			if st != nil {
-				st.target.Close()
-			}
-			if a != nil {
-				a.conn.Close()
-			}
+			sessions.close(f.StreamID)
 		default:
 			// Unknown frames are ignored (forward compatibility).
 		}
 	}
 }
 
-func (eg *Egress) handleConnect(f *Frame, writeFrame func(*Frame) error, streams map[uint32]*egressStream, smu *sync.Mutex) {
+func (eg *Egress) handleConnect(f *Frame, tw *tunnelWriter, sessions *tunnelSessions) {
 	fail := func(msg string) {
-		_ = writeFrame(&Frame{Type: FrameConnectEr, StreamID: f.StreamID, Payload: []byte(msg)})
+		_ = tw.writeFrame(&Frame{Type: FrameConnectEr, StreamID: f.StreamID, Payload: []byte(msg)})
 	}
 	plain, err := Unseal(eg.ID, f.Payload)
 	if err != nil {
@@ -215,10 +194,7 @@ func (eg *Egress) handleConnect(f *Frame, writeFrame func(*Frame) error, streams
 	}
 	_ = geohash // carried for region-preserving placement; see relay pkg
 
-	eg.mu.Lock()
-	n := eg.nConns
-	eg.nConns++
-	eg.mu.Unlock()
+	n := eg.nConns.Add(1) - 1
 
 	var src netip.Addr
 	if eg.Rotation != nil {
@@ -242,28 +218,28 @@ func (eg *Egress) handleConnect(f *Frame, writeFrame func(*Frame) error, streams
 		}
 	}
 
-	smu.Lock()
-	streams[f.StreamID] = &egressStream{target: conn}
-	smu.Unlock()
+	sessions.putStream(f.StreamID, conn)
 
-	if err := writeFrame(&Frame{Type: FrameConnectOK, StreamID: f.StreamID, Payload: []byte(src.String())}); err != nil {
+	if err := tw.writeFrame(&Frame{Type: FrameConnectOK, StreamID: f.StreamID, Payload: []byte(src.String())}); err != nil {
 		conn.Close()
 		return
 	}
 
-	// Pump target → tunnel.
+	// Pump target → tunnel through a pooled copy buffer.
 	go func(id uint32, c net.Conn) {
-		buf := make([]byte, 16*1024)
+		bp := acquireCopyBuf()
+		defer releaseCopyBuf(bp)
+		buf := *bp
 		for {
 			n, err := c.Read(buf)
 			if n > 0 {
-				if werr := writeFrame(&Frame{Type: FrameData, StreamID: id, Payload: buf[:n]}); werr != nil {
+				if werr := tw.writeFrame(&Frame{Type: FrameData, StreamID: id, Payload: buf[:n]}); werr != nil {
 					c.Close()
 					return
 				}
 			}
 			if err != nil {
-				_ = writeFrame(&Frame{Type: FrameClose, StreamID: id})
+				_ = tw.writeFrame(&Frame{Type: FrameClose, StreamID: id})
 				return
 			}
 		}

@@ -51,6 +51,55 @@ func FuzzUnseal(f *testing.F) {
 	})
 }
 
+// FuzzParseReject hardens the typed-rejection payload parser: hostile
+// input never panics, and anything that parses re-encodes to the same
+// bytes.
+func FuzzParseReject(f *testing.F) {
+	f.Add(AppendReject(nil, RejectSessionLimit, "too many sessions"))
+	f.Add(AppendReject(nil, RejectDraining, ""))
+	f.Add([]byte{0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		code, msg, err := ParseReject(data)
+		if err != nil {
+			return
+		}
+		// Every code — including ones this build does not define — must
+		// have a printable name for logs.
+		if code.String() == "" {
+			t.Fatalf("code %d has empty name", code)
+		}
+		if out := AppendReject(nil, code, msg); !bytes.Equal(out, data) {
+			t.Fatalf("REJECT round trip not stable: %x -> %x", data, out)
+		}
+	})
+}
+
+// FuzzParseReservationInfo hardens the RESERVE_OK payload parser the
+// same way: no panics on hostile input, exact round-trip on valid.
+func FuzzParseReservationInfo(f *testing.F) {
+	f.Add(AppendReservationInfo(nil, &ReservationInfo{
+		ExpiryUnixNano: 1_650_003_600_000_000_000,
+		DataCap:        1 << 30,
+		BandwidthBps:   1 << 20,
+		Burst:          1 << 21,
+		MaxSessions:    8,
+	}))
+	f.Add(AppendReservationInfo(nil, &ReservationInfo{}))
+	f.Add(bytes.Repeat([]byte{0xFF}, reservationInfoLen))
+	f.Add([]byte("short"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := ParseReservationInfo(data)
+		if err != nil {
+			return
+		}
+		if out := AppendReservationInfo(nil, &info); !bytes.Equal(out, data) {
+			t.Fatalf("RESERVE_OK round trip not stable: %x -> %x", data, out)
+		}
+	})
+}
+
 // FuzzParseDatagramPreamble hardens the UDP preamble splitter.
 func FuzzParseDatagramPreamble(f *testing.F) {
 	f.Add([]byte(SourcePreambleMagic + "1.2.3.4\npayload"))

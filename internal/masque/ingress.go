@@ -2,11 +2,13 @@ package masque
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/relay-networks/privaterelay/internal/vclock"
@@ -33,6 +35,11 @@ type ConnRecord struct {
 	Start      time.Time
 }
 
+// defaultServeWorkers sizes the accept worker pools when unset. Each
+// live tunnel occupies one worker for its lifetime; connections beyond
+// the pool wait in the listener backlog.
+const defaultServeWorkers = 256
+
 // Ingress is a Private Relay ingress server: it authenticates clients,
 // connects them to their chosen egress and then blindly relays bytes.
 type Ingress struct {
@@ -44,34 +51,67 @@ type Ingress struct {
 	// AllowedEgress optionally restricts which egress addresses clients
 	// may request; nil allows any.
 	AllowedEgress map[string]bool
-	// Clock stamps ConnRecord.Start; nil uses the wall clock. Injecting
-	// a VirtualClock makes the connection log reproducible in tests.
+	// Clock stamps ConnRecord.Start and paces reservation bandwidth;
+	// nil uses the wall clock. Injecting a VirtualClock makes the
+	// connection log and pacing reproducible in tests.
 	Clock vclock.Clock
+	// Reservations, when set, gates admission per account: AUTH answers
+	// become FrameReserveOK/FrameReject, tunnel bytes are charged
+	// against the account's data cap and paced by its bandwidth bucket.
+	Reservations *Reservations
+	// Workers fixes the tunnel worker-pool size (0 means
+	// defaultServeWorkers). The ingress serves at most Workers
+	// concurrent tunnels; excess connections queue in the backlog.
+	Workers int
 
 	mu      sync.Mutex
 	ln      net.Listener
 	records []ConnRecord
 	wg      sync.WaitGroup
+	rejects [rejectCodeCount]atomic.Int64
 }
 
-// Serve starts accepting on ln until ln is closed. It returns the
-// first accept error (net.ErrClosed after Close).
+// Serve accepts on ln until ln is closed, handing tunnels to a fixed
+// worker pool (goroutine-per-connection does not survive the session
+// counts the serving plane targets). It returns the first accept error
+// (net.ErrClosed after Close).
 func (ing *Ingress) Serve(ln net.Listener) error {
 	ing.mu.Lock()
 	ing.ln = ln
 	ing.mu.Unlock()
+	return servePool(ln, workersPoolSize(ing.Workers), &ing.wg, ing.handle)
+}
+
+// servePool is the shared accept loop: a fixed pool of workers drains
+// an unbuffered connection channel, so the listener backlog — not a
+// goroutine explosion — absorbs bursts past the pool size.
+func servePool(ln net.Listener, workers int, wg *sync.WaitGroup, handle func(net.Conn)) error {
+	conns := make(chan net.Conn)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range conns {
+				handle(c)
+			}
+		}()
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			ing.wg.Wait()
+			close(conns)
+			wg.Wait()
 			return err
 		}
-		ing.wg.Add(1)
-		go func() {
-			defer ing.wg.Done()
-			ing.handle(conn)
-		}()
+		conns <- conn
 	}
+}
+
+func workersPoolSize(n int) int {
+	if n > 0 {
+		return n
+	}
+	return defaultServeWorkers
 }
 
 // Close stops the listener; in-flight tunnels finish on their own.
@@ -90,6 +130,24 @@ func (ing *Ingress) Records() []ConnRecord {
 	ing.mu.Lock()
 	defer ing.mu.Unlock()
 	return append([]ConnRecord(nil), ing.records...)
+}
+
+// RejectCounts returns how many reservation rejections the ingress has
+// issued, by code (admissions denied and tunnels cut mid-flight).
+func (ing *Ingress) RejectCounts() map[RejectCode]int64 {
+	out := make(map[RejectCode]int64)
+	for c := 0; c < rejectCodeCount; c++ {
+		if n := ing.rejects[c].Load(); n > 0 {
+			out[RejectCode(c)] = n
+		}
+	}
+	return out
+}
+
+func (ing *Ingress) countReject(code RejectCode) {
+	if int(code) < rejectCodeCount {
+		ing.rejects[code].Add(1)
+	}
 }
 
 // handle runs one client tunnel.
@@ -117,6 +175,26 @@ func (ing *Ingress) handle(client net.Conn) {
 		return
 	}
 
+	// Reservation admission: the validated token names the account; the
+	// registry answers with a session grant or a typed rejection.
+	var res *Reservation
+	if rs := ing.Reservations; rs != nil {
+		account, err := TokenAccount(token)
+		if err != nil {
+			ing.countReject(RejectMalformed)
+			_ = WriteFrame(client, &Frame{Type: FrameReject, Payload: AppendReject(nil, RejectMalformed, "unreadable account")})
+			return
+		}
+		r, code := rs.Admit(account)
+		if code != RejectNone {
+			ing.countReject(code)
+			_ = WriteFrame(client, &Frame{Type: FrameReject, Payload: AppendReject(nil, code, "")})
+			return
+		}
+		res = r
+		defer rs.EndSession(res)
+	}
+
 	d := ing.Dialer
 	if d == nil {
 		d = &net.Dialer{}
@@ -136,25 +214,90 @@ func (ing *Ingress) handle(client net.Conn) {
 	})
 	ing.mu.Unlock()
 
-	if err := WriteFrame(client, &Frame{Type: FrameAuthOK}); err != nil {
+	if res != nil {
+		info := res.Info()
+		if err := WriteFrame(client, &Frame{Type: FrameReserveOK, Payload: AppendReservationInfo(nil, &info)}); err != nil {
+			return
+		}
+	} else if err := WriteFrame(client, &Frame{Type: FrameAuthOK}); err != nil {
 		return
 	}
 
 	// From here on the ingress is a dumb pipe: it can count bytes and see
-	// timing, but every CONNECT it forwards is sealed for the egress.
-	done := make(chan struct{}, 2)
+	// timing — and charge them to the reservation — but every CONNECT it
+	// forwards is sealed for the egress. The reverse leg runs in one
+	// helper goroutine (bounded by the worker pool, not the conn count).
+	done := make(chan RejectCode, 1)
 	go func() {
-		_, _ = io.Copy(egress, br)
-		_ = closeWrite(egress)
-		done <- struct{}{}
-	}()
-	go func() {
-		_, _ = io.Copy(client, egress)
+		code := ing.pipe(client, egress, res)
 		_ = closeWrite(client)
-		done <- struct{}{}
+		done <- code
 	}()
-	<-done
-	<-done
+	code := ing.pipe(egress, br, res)
+	_ = closeWrite(egress)
+	if code == RejectNone {
+		code = <-done
+	} else {
+		// A reservation violation cuts the whole tunnel, not one leg.
+		client.Close()
+		egress.Close()
+		<-done
+	}
+	if code != RejectNone {
+		ing.countReject(code)
+	}
+}
+
+// pipe copies src→dst through a pooled buffer, charging each chunk to
+// the reservation. Data-cap exhaustion returns RejectDataCap and stops
+// the tunnel; bandwidth overruns pace (sleep on the ingress clock until
+// the bucket conforms) rather than cut, like any traffic shaper.
+func (ing *Ingress) pipe(dst io.Writer, src io.Reader, res *Reservation) RejectCode {
+	bp := acquireCopyBuf()
+	defer releaseCopyBuf(bp)
+	buf := *bp
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if res != nil {
+				if code := ing.charge(res, int64(n)); code != RejectNone {
+					return code
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return RejectNone
+			}
+		}
+		if err != nil {
+			return RejectNone
+		}
+	}
+}
+
+// charge debits n bytes from the reservation: hard data cap first,
+// then bandwidth pacing.
+func (ing *Ingress) charge(res *Reservation, n int64) RejectCode {
+	rs := ing.Reservations
+	if res.expiry != 0 && res.expired(rs.NowNS()) {
+		return RejectExpired
+	}
+	if code := res.DebitData(n); code != RejectNone {
+		return code
+	}
+	if res.limits.BandwidthBps > 0 {
+		clock := ing.clock()
+		for res.AllowBandwidth(n, rs.NowNS()) != RejectNone {
+			// Sleep one chunk's transmission time, then re-ask the bucket.
+			wait := time.Duration(n * int64(time.Second) / res.limits.BandwidthBps)
+			if wait <= 0 {
+				wait = time.Millisecond
+			}
+			if err := clock.Sleep(context.Background(), wait); err != nil {
+				return RejectBandwidth
+			}
+		}
+	}
+	return RejectNone
 }
 
 // closeWrite half-closes a TCP connection when supported.
@@ -183,10 +326,13 @@ func (r ConnRecord) String() string {
 	return fmt.Sprintf("client=%s egress=%s", r.ClientAddr, r.EgressAddr)
 }
 
-// now returns the ingress clock's current time (wall clock when unset).
-func (ing *Ingress) now() time.Time {
+// clock returns the ingress clock (wall clock when unset).
+func (ing *Ingress) clock() vclock.Clock {
 	if ing.Clock != nil {
-		return ing.Clock.Now()
+		return ing.Clock
 	}
-	return vclock.WallClock{}.Now()
+	return vclock.WallClock{}
 }
+
+// now returns the ingress clock's current time.
+func (ing *Ingress) now() time.Time { return ing.clock().Now() }

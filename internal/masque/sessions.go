@@ -1,0 +1,263 @@
+package masque
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/relay-networks/privaterelay/internal/iputil"
+)
+
+// Sharded session tables. Every stateful hop of the serving plane —
+// the plane-wide session registry, the per-account reservation
+// registry, the egress per-tunnel stream map and the client demux —
+// used to be (or would have been) one mutex-guarded map; at millions
+// of sessions that mutex is the scaling wall the scan plane already
+// hit and broke (DESIGN.md §12). Sharded spreads keys over a
+// power-of-two number of independently locked shards: a session
+// touches exactly one shard lock, so concurrent sessions contend only
+// when they hash together.
+
+// defaultShards is the shard count when a table is built with n <= 0.
+// 256 shards × a 65-byte padded shard header is 16 KiB of fixed
+// overhead, amortized instantly against millions of entries.
+const defaultShards = 256
+
+// Sharded is a power-of-two sharded, per-shard-locked map. The zero
+// value is not usable; build tables with NewSharded. K is hashed with
+// the table's hash function (see HashUint32/HashString).
+type Sharded[K comparable, V any] struct {
+	shards []tableShard[K, V]
+	mask   uint64
+	hash   func(K) uint64
+	n      atomic.Int64
+}
+
+// tableShard pads each lock+map pair to its own cache line so
+// neighbouring shard locks never false-share.
+type tableShard[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+	_  [40]byte
+}
+
+// NewSharded builds a table with n shards (rounded up to a power of
+// two; n <= 0 means defaultShards) hashing keys through hash.
+func NewSharded[K comparable, V any](n int, hash func(K) uint64) *Sharded[K, V] {
+	if n <= 0 {
+		n = defaultShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Sharded[K, V]{
+		shards: make([]tableShard[K, V], size),
+		mask:   uint64(size - 1),
+		hash:   hash,
+	}
+}
+
+// HashUint32 mixes a 32-bit key (session and stream IDs are assigned
+// sequentially — without mixing, consecutive sessions would walk the
+// shards in lockstep and batch workloads would convoy on one lock).
+func HashUint32(k uint32) uint64 { return iputil.Mix(uint64(k), 0x6d617371) }
+
+// HashString hashes a string key (account names) with FNV-1a.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (t *Sharded[K, V]) shard(k K) *tableShard[K, V] {
+	return &t.shards[t.hash(k)&t.mask]
+}
+
+// Load returns the value stored for k.
+func (t *Sharded[K, V]) Load(k K) (V, bool) {
+	s := t.shard(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Store sets k to v, replacing any previous value.
+func (t *Sharded[K, V]) Store(k K, v V) {
+	s := t.shard(k)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[K]V)
+	}
+	_, had := s.m[k]
+	s.m[k] = v
+	s.mu.Unlock()
+	if !had {
+		t.n.Add(1)
+	}
+}
+
+// LoadOrStore returns the existing value for k, or stores and returns
+// v. loaded reports whether the value was already present.
+func (t *Sharded[K, V]) LoadOrStore(k K, v V) (actual V, loaded bool) {
+	s := t.shard(k)
+	s.mu.Lock()
+	if have, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return have, true
+	}
+	if s.m == nil {
+		s.m = make(map[K]V)
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+	t.n.Add(1)
+	return v, false
+}
+
+// Delete removes k, returning the removed value.
+func (t *Sharded[K, V]) Delete(k K) (V, bool) {
+	s := t.shard(k)
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if ok {
+		delete(s.m, k)
+	}
+	s.mu.Unlock()
+	if ok {
+		t.n.Add(-1)
+	}
+	return v, ok
+}
+
+// Len reports the number of entries across all shards.
+func (t *Sharded[K, V]) Len() int { return int(t.n.Load()) }
+
+// Range calls f for every entry until f returns false. Each shard is
+// visited under its own lock; iteration order is unspecified, so
+// callers must accumulate order-independently (the determinism lint's
+// map-range rule applies to them as usual).
+func (t *Sharded[K, V]) Range(f func(K, V) bool) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k, v := range s.m {
+			if !f(k, v) {
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// tunnelSession is one proxied connection's egress-side state: a TCP
+// target or a UDP association, never both.
+type tunnelSession struct {
+	target net.Conn
+	assoc  *udpAssoc
+}
+
+// tunnelSessions is the per-tunnel session table at the egress. It
+// folds the two loose (map[uint32]…, *sync.Mutex) pairs the old
+// handleConnect/handleConnectUDP signatures threaded around into one
+// typed table; tunnels carry few streams, so it uses a small shard
+// count rather than the plane-wide default.
+type tunnelSessions struct {
+	t *Sharded[uint32, tunnelSession]
+}
+
+func newTunnelSessions() *tunnelSessions {
+	return &tunnelSessions{t: NewSharded[uint32, tunnelSession](8, HashUint32)}
+}
+
+func (ts *tunnelSessions) putStream(id uint32, target net.Conn) {
+	ts.t.Store(id, tunnelSession{target: target})
+}
+
+func (ts *tunnelSessions) putAssoc(id uint32, a *udpAssoc) {
+	ts.t.Store(id, tunnelSession{assoc: a})
+}
+
+func (ts *tunnelSessions) stream(id uint32) net.Conn {
+	s, _ := ts.t.Load(id)
+	return s.target
+}
+
+func (ts *tunnelSessions) assoc(id uint32) *udpAssoc {
+	s, _ := ts.t.Load(id)
+	return s.assoc
+}
+
+// close tears down the session with the given ID, closing whichever
+// leg it holds.
+func (ts *tunnelSessions) close(id uint32) {
+	s, ok := ts.t.Delete(id)
+	if !ok {
+		return
+	}
+	if s.target != nil {
+		s.target.Close()
+	}
+	if s.assoc != nil {
+		s.assoc.conn.Close()
+	}
+}
+
+// closeAll tears down every session (tunnel teardown).
+func (ts *tunnelSessions) closeAll() {
+	ts.t.Range(func(id uint32, s tunnelSession) bool {
+		if s.target != nil {
+			s.target.Close()
+		}
+		if s.assoc != nil {
+			s.assoc.conn.Close()
+		}
+		return true
+	})
+}
+
+// demuxEntry is one client-side stream handle: a TCP stream or a UDP
+// flow, never both.
+type demuxEntry struct {
+	s *Stream
+	u *UDPFlow
+}
+
+// demuxTable is the client's frame demultiplexer state, replacing the
+// two mutex-guarded maps the demux loop used to consult per frame.
+type demuxTable struct {
+	t *Sharded[uint32, demuxEntry]
+}
+
+func newDemuxTable() *demuxTable {
+	return &demuxTable{t: NewSharded[uint32, demuxEntry](8, HashUint32)}
+}
+
+func (d *demuxTable) putStream(id uint32, s *Stream) { d.t.Store(id, demuxEntry{s: s}) }
+func (d *demuxTable) putFlow(id uint32, u *UDPFlow)  { d.t.Store(id, demuxEntry{u: u}) }
+func (d *demuxTable) lookup(id uint32) demuxEntry {
+	e, _ := d.t.Load(id)
+	return e
+}
+func (d *demuxTable) drop(id uint32) { d.t.Delete(id) }
+
+// failAll fails every open stream and flow with err (tunnel teardown)
+// and empties the table.
+func (d *demuxTable) failAll(err error) {
+	d.t.Range(func(id uint32, e demuxEntry) bool {
+		if e.s != nil {
+			e.s.fail(err)
+		}
+		if e.u != nil {
+			e.u.fail(err)
+		}
+		return true
+	})
+	// Rebuilding the table is unnecessary: entries fail idempotently and
+	// the owning client is already marked closed.
+}

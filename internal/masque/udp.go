@@ -36,9 +36,9 @@ type udpAssoc struct {
 }
 
 // handleConnectUDP binds a UDP association for a sealed CONNECT-UDP.
-func (eg *Egress) handleConnectUDP(f *Frame, writeFrame func(*Frame) error, assocs map[uint32]*udpAssoc, amu *sync.Mutex) {
+func (eg *Egress) handleConnectUDP(f *Frame, tw *tunnelWriter, sessions *tunnelSessions) {
 	fail := func(msg string) {
-		_ = writeFrame(&Frame{Type: FrameConnectEr, StreamID: f.StreamID, Payload: []byte(msg)})
+		_ = tw.writeFrame(&Frame{Type: FrameConnectEr, StreamID: f.StreamID, Payload: []byte(msg)})
 	}
 	plain, err := Unseal(eg.ID, f.Payload)
 	if err != nil {
@@ -51,10 +51,7 @@ func (eg *Egress) handleConnectUDP(f *Frame, writeFrame func(*Frame) error, asso
 		return
 	}
 
-	eg.mu.Lock()
-	n := eg.nConns
-	eg.nConns++
-	eg.mu.Unlock()
+	n := eg.nConns.Add(1) - 1
 	var src netip.Addr
 	if eg.Rotation != nil {
 		src = eg.Rotation.Next(n)
@@ -71,11 +68,9 @@ func (eg *Egress) handleConnectUDP(f *Frame, writeFrame func(*Frame) error, asso
 		return
 	}
 
-	amu.Lock()
-	assocs[f.StreamID] = &udpAssoc{conn: conn, dst: dst, src: src}
-	amu.Unlock()
+	sessions.putAssoc(f.StreamID, &udpAssoc{conn: conn, dst: dst, src: src})
 
-	if err := writeFrame(&Frame{Type: FrameConnectOK, StreamID: f.StreamID, Payload: []byte(src.String())}); err != nil {
+	if err := tw.writeFrame(&Frame{Type: FrameConnectOK, StreamID: f.StreamID, Payload: []byte(src.String())}); err != nil {
 		conn.Close()
 		return
 	}
@@ -83,15 +78,15 @@ func (eg *Egress) handleConnectUDP(f *Frame, writeFrame func(*Frame) error, asso
 	// Pump target → tunnel. The simulated source address rides in each
 	// datagram's preamble, mirroring the stream preamble convention.
 	go func(id uint32, pc net.PacketConn) {
-		buf := make([]byte, 64*1024)
+		buf := make([]byte, 64*1024) // one datagram can exceed the pooled 32 KiB copy buffers
 		for {
 			_ = pc.SetReadDeadline(time.Now().Add(30 * time.Second)) //lint:allow determinism — kernel socket deadlines need wall time, not the virtual clock
 			n, _, err := pc.ReadFrom(buf)
 			if err != nil {
-				_ = writeFrame(&Frame{Type: FrameClose, StreamID: id})
+				_ = tw.writeFrame(&Frame{Type: FrameClose, StreamID: id})
 				return
 			}
-			if werr := writeFrame(&Frame{Type: FrameDatagram, StreamID: id, Payload: append([]byte(nil), buf[:n]...)}); werr != nil {
+			if werr := tw.writeFrame(&Frame{Type: FrameDatagram, StreamID: id, Payload: buf[:n]}); werr != nil {
 				pc.Close()
 				return
 			}
@@ -218,6 +213,13 @@ func (u *UDPFlow) setupDone(addr netip.Addr, err error) {
 	})
 }
 
+// fail tears the flow down on tunnel loss: pending opens observe err,
+// pending receives observe the closed inbox.
+func (u *UDPFlow) fail(err error) {
+	u.setupDone(netip.Addr{}, err)
+	u.closeInbox()
+}
+
 // OpenUDP establishes a proxied UDP association to target ("host:port").
 func (c *Client) OpenUDP(target string) (*UDPFlow, netip.Addr, error) {
 	c.mu.Lock()
@@ -233,11 +235,9 @@ func (c *Client) OpenUDP(target string) (*UDPFlow, netip.Addr, error) {
 		setup:  make(chan struct{}),
 		inbox:  make(chan []byte, 64),
 	}
-	if c.udpFlows == nil {
-		c.udpFlows = make(map[uint32]*UDPFlow)
-	}
-	c.udpFlows[id] = u
+	demux := c.demux
 	c.mu.Unlock()
+	demux.putFlow(id, u)
 
 	sealed := Seal(EgressIDForAddr(c.EgressAddr), ConnectPayload(target, c.Geohash))
 	if err := c.writeFrame(&Frame{Type: FrameConnectUDP, StreamID: id, Payload: sealed}); err != nil {
@@ -254,6 +254,9 @@ func (c *Client) OpenUDP(target string) (*UDPFlow, netip.Addr, error) {
 
 func (c *Client) dropUDPFlow(id uint32) {
 	c.mu.Lock()
-	delete(c.udpFlows, id)
+	demux := c.demux
 	c.mu.Unlock()
+	if demux != nil {
+		demux.drop(id)
+	}
 }

@@ -4,7 +4,7 @@ GO ?= go
 # directory to get a fresh run without clobbering the committed files.
 BENCH_DIR ?= .
 
-.PHONY: check vet lint build test race alloc bench bench-json bench-gate chaos relay-bench
+.PHONY: check vet lint build test race alloc bench bench-json bench-gate chaos relay-bench relayd-smoke
 
 # BENCH_GATE=1 appends the benchmark regression gate (a full fresh
 # bench-json run — minutes, not seconds), so plain `make check` stays
@@ -42,7 +42,13 @@ alloc:
 chaos:
 	$(GO) test -race \
 		-run 'Chaos|Checkpoint|Backoff|Breaker|Fault|Injector|Profile|Resilien|Retr|Resume|Dominant|Rotation|Campaign|BlockingStudy|RunDirect|RunRetries|RunDisting|ConnectWithRetry|VirtualClock' \
-		./internal/faults/ ./internal/core/ ./internal/dnsserver/ ./internal/scan/ ./internal/atlas/ ./internal/masque/
+		./internal/faults/ ./internal/core/ ./internal/dnsserver/ ./internal/scan/ ./internal/atlas/ ./internal/masque/ ./internal/relayd/
+
+# End-to-end service smoke: boot cmd/relayd on the virtual clock, wait
+# for a full cycle, scrape /healthz and /metrics, SIGTERM, and require
+# a clean drain. Mirrors the relayd-smoke CI job.
+relayd-smoke:
+	./scripts/relayd-smoke.sh
 
 # One iteration keeps CI fast; run with a larger -benchtime locally for
 # stable numbers.

@@ -1,0 +1,73 @@
+// Package atomicio writes files atomically and durably: content goes to
+// a temp file in the target's directory, is fsynced, renamed over the
+// target, and the directory entry is fsynced too. A crash — including a
+// kill -9 between any two syscalls — leaves either the old file or the
+// new file, never a torn mix, and a completed write survives power loss.
+//
+// This is the persistence primitive under every relayd artifact (scan
+// checkpoints, dataset generations, diff files): crash-safety of the
+// service reduces to "every write goes through atomicio and every read
+// validates a footer".
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The temp file lives in path's directory so the final rename never
+// crosses filesystems.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	// fsync the data before the rename publishes it: rename-then-crash
+	// must never expose a file whose blocks are still in flight.
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so the rename's new entry is durable.
+// Filesystems that cannot sync directories (some network mounts) return
+// an error from Sync; that is best-effort territory — the rename itself
+// already gave atomicity — so only open failures are reported.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !isSyncUnsupported(err) {
+		return err
+	}
+	return nil
+}
+
+// isSyncUnsupported reports whether a directory Sync failed only
+// because the filesystem does not support syncing directories.
+func isSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

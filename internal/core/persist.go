@@ -2,15 +2,16 @@ package core
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net/netip"
 	"os"
-	"path/filepath"
 	"slices"
 	"strconv"
 	"strings"
 
+	"github.com/relay-networks/privaterelay/internal/atomicio"
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/faults"
 )
@@ -92,6 +93,83 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 	return ds, nil
 }
 
+// ReadCanonical parses the output of WriteCanonical back into a
+// Dataset: the address set and the per-client-AS serving statistics.
+// Scanner counters are not part of the canonical surface (they are
+// path-dependent) and come back zero. The `# canonical <domain>` header
+// restores Domain; other comment lines are ignored, so canonical bodies
+// embedded in framed files (relayd's dataset generations) parse with
+// the same reader.
+func ReadCanonical(r io.Reader) (*Dataset, error) {
+	ds := &Dataset{
+		Addresses: make(map[netip.Addr]bgp.ASN),
+		Serving:   make(map[bgp.ASN]*ServingStats),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(strings.TrimPrefix(text, "#"))
+			if len(fields) == 2 && fields[0] == "canonical" {
+				ds.Domain = fields[1]
+			}
+			continue
+		}
+		tag, rest, ok := strings.Cut(text, " ")
+		if !ok {
+			return nil, fmt.Errorf("core: canonical line %d: want `TAG payload`", line)
+		}
+		switch tag {
+		case "A":
+			addrStr, asnStr, ok := strings.Cut(rest, ",")
+			if !ok {
+				return nil, fmt.Errorf("core: canonical line %d: want A addr,asn", line)
+			}
+			addr, err := netip.ParseAddr(addrStr)
+			if err != nil {
+				return nil, fmt.Errorf("core: canonical line %d: %w", line, err)
+			}
+			asn, err := strconv.ParseUint(asnStr, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("core: canonical line %d: %w", line, err)
+			}
+			ds.Addresses[addr] = bgp.ASN(asn)
+		case "S":
+			parts := strings.Split(rest, ",")
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("core: canonical line %d: want S client,operator,count", line)
+			}
+			nums := make([]int64, 3)
+			for i, p := range parts {
+				n, err := strconv.ParseInt(p, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("core: canonical line %d: %w", line, err)
+				}
+				nums[i] = n
+			}
+			client := bgp.ASN(nums[0])
+			st, ok := ds.Serving[client]
+			if !ok {
+				st = &ServingStats{SubnetsByOperator: make(map[bgp.ASN]int64)}
+				ds.Serving[client] = st
+			}
+			st.SubnetsByOperator[bgp.ASN(nums[1])] = nums[2]
+		default:
+			return nil, fmt.Errorf("core: canonical line %d: unknown tag %q", line, tag)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
 // WriteCanonical serializes the scan's *result* — the address set and the
 // per-client-AS serving statistics, both sorted — and nothing volatile.
 // Two runs that discovered the same network state produce byte-identical
@@ -145,7 +223,11 @@ type Checkpoint struct {
 }
 
 // Write serializes the checkpoint in a line-oriented format matching the
-// dataset CSV family: `# key value` metadata, then tagged rows.
+// dataset CSV family: `# key value` metadata, then tagged rows, then a
+// `# end <rows>` footer. The footer is load-bearing: a file truncated by
+// a crash (or a partially copied one) is missing it, and ReadCheckpoint
+// rejects such files with ErrCheckpointCorrupt instead of silently
+// resuming from a partial state.
 func (ck *Checkpoint) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# checkpoint v1\n")
@@ -201,31 +283,61 @@ func (ck *Checkpoint) Write(w io.Writer) error {
 	for _, r := range ck.DoneRanges {
 		fmt.Fprintf(bw, "D %d-%d\n", r[0], r[1])
 	}
+	rows := len(ck.Addresses) + len(ck.Ledger) + len(ck.DoneRanges)
+	for _, ops := range ck.Serving {
+		rows += len(ops)
+	}
+	fmt.Fprintf(bw, "# end %d\n", rows)
 	return bw.Flush()
 }
 
-// WriteFile writes the checkpoint atomically: temp file in the target's
-// directory, fsync-free rename. A crash mid-write leaves the previous
-// checkpoint intact.
+// WriteFile writes the checkpoint atomically and durably: temp file in
+// the target's directory, fsync, rename, directory fsync. A crash at
+// any instant — including kill -9 between syscalls — leaves either the
+// previous checkpoint or the complete new one.
 func (ck *Checkpoint) WriteFile(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".ckpt-*")
-	if err != nil {
-		return err
-	}
-	if err := ck.Write(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return atomicio.WriteFile(path, ck.Write)
 }
 
-// ReadCheckpoint parses a checkpoint written by Write.
+// ErrCheckpointCorrupt tags every checkpoint-integrity failure: a
+// missing or mismatched `# end` footer (truncation), an unparseable
+// row, or a bad header. Callers branch on it with errors.Is to
+// quarantine the file and restart from scratch instead of resuming a
+// partial state.
+var ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
+
+// CorruptError is the typed error for a checkpoint that failed
+// integrity checks. It matches ErrCheckpointCorrupt under errors.Is.
+type CorruptError struct {
+	// Path is the offending file ("" when parsed from a reader).
+	Path string
+	// Line is the 1-based line of the failure (0 for whole-file
+	// problems such as a missing footer).
+	Line int
+	// Reason describes the failure.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	msg := "core: checkpoint corrupt"
+	if e.Path != "" {
+		msg += " " + e.Path
+	}
+	if e.Line > 0 {
+		msg += fmt.Sprintf(" line %d", e.Line)
+	}
+	return msg + ": " + e.Reason
+}
+
+// Is reports target equivalence so errors.Is(err, ErrCheckpointCorrupt)
+// matches any CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCheckpointCorrupt }
+
+// ReadCheckpoint parses a checkpoint written by Write. Every integrity
+// failure — bad header, unparseable row, missing or mismatched footer —
+// comes back as a *CorruptError (matching ErrCheckpointCorrupt), never
+// as a silently partial checkpoint.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	ck := &Checkpoint{
 		Addresses: make(map[netip.Addr]bgp.ASN),
@@ -235,15 +347,19 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	line, sawHeader := 0, false
+	line, sawHeader, sawEnd := 0, false, false
+	var rows, wantRows int64
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
 		if text == "" {
 			continue
 		}
-		bad := func(err error) (*Checkpoint, error) {
-			return nil, fmt.Errorf("core: checkpoint line %d: %w", line, err)
+		bad := func(format string, args ...any) (*Checkpoint, error) {
+			return nil, &CorruptError{Line: line, Reason: fmt.Sprintf(format, args...)}
+		}
+		if sawEnd {
+			return bad("content after `# end` footer: %q", text)
 		}
 		if strings.HasPrefix(text, "#") {
 			fields := strings.Fields(strings.TrimPrefix(text, "#"))
@@ -253,7 +369,7 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 			switch fields[0] {
 			case "checkpoint":
 				if len(fields) != 2 || fields[1] != "v1" {
-					return bad(fmt.Errorf("unsupported version %q", text))
+					return bad("unsupported version %q", text)
 				}
 				sawHeader = true
 			case "domain":
@@ -261,48 +377,68 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 					ck.Domain = fields[1]
 				}
 			case "universe":
-				if len(fields) == 2 {
-					ck.UniverseTotal, _ = strconv.ParseInt(fields[1], 10, 64)
+				if len(fields) != 2 {
+					return bad("want `# universe N`")
 				}
+				n, err := strconv.ParseInt(fields[1], 10, 64)
+				if err != nil {
+					return bad("universe: %v", err)
+				}
+				ck.UniverseTotal = n
 			case "counter":
-				if len(fields) == 3 {
-					ck.Counters[fields[1]], _ = strconv.ParseInt(fields[2], 10, 64)
+				if len(fields) != 3 {
+					return bad("want `# counter name N`")
 				}
+				n, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					return bad("counter %s: %v", fields[1], err)
+				}
+				ck.Counters[fields[1]] = n
+			case "end":
+				if len(fields) != 2 {
+					return bad("want `# end N`")
+				}
+				n, err := strconv.ParseInt(fields[1], 10, 64)
+				if err != nil {
+					return bad("end: %v", err)
+				}
+				wantRows, sawEnd = n, true
 			}
 			continue
 		}
 		if !sawHeader {
-			return bad(fmt.Errorf("missing `# checkpoint v1` header"))
+			return bad("missing `# checkpoint v1` header")
 		}
+		rows++
 		tag, rest, ok := strings.Cut(text, " ")
 		if !ok {
-			return bad(fmt.Errorf("want `TAG payload`, got %q", text))
+			return bad("want `TAG payload`, got %q", text)
 		}
 		switch tag {
 		case "A":
 			parts := strings.Split(rest, ",")
 			if len(parts) != 2 {
-				return bad(fmt.Errorf("want A addr,asn"))
+				return bad("want A addr,asn")
 			}
 			addr, err := netip.ParseAddr(parts[0])
 			if err != nil {
-				return bad(err)
+				return bad("%v", err)
 			}
 			asn, err := strconv.ParseUint(parts[1], 10, 32)
 			if err != nil {
-				return bad(err)
+				return bad("%v", err)
 			}
 			ck.Addresses[addr] = bgp.ASN(asn)
 		case "S":
 			parts := strings.Split(rest, ",")
 			if len(parts) != 3 {
-				return bad(fmt.Errorf("want S client,operator,count"))
+				return bad("want S client,operator,count")
 			}
 			nums := make([]int64, 3)
 			for i, p := range parts {
 				n, err := strconv.ParseInt(p, 10, 64)
 				if err != nil {
-					return bad(err)
+					return bad("%v", err)
 				}
 				nums[i] = n
 			}
@@ -314,57 +450,65 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		case "L":
 			parts := strings.Split(rest, ",")
 			if len(parts) != 9 {
-				return bad(fmt.Errorf("want 9 ledger fields, got %d", len(parts)))
+				return bad("want 9 ledger fields, got %d", len(parts))
 			}
 			p, err := netip.ParsePrefix(parts[0])
 			if err != nil {
-				return bad(err)
+				return bad("%v", err)
 			}
 			e := &SubnetFault{Subnet: p}
 			for i, dst := range []*int32{&e.Timeouts, &e.ServFails, &e.Refused, &e.Truncated, &e.Stale, &e.Attempts} {
 				n, err := strconv.ParseInt(parts[1+i], 10, 32)
 				if err != nil {
-					return bad(err)
+					return bad("%v", err)
 				}
 				*dst = int32(n)
 			}
 			if e.LastKind, err = faults.ParseKind(parts[7]); err != nil {
-				return bad(err)
+				return bad("%v", err)
 			}
 			e.Recovered = parts[8] == "1"
 			ck.Ledger[p] = e
 		case "D":
 			lo, hi, ok := strings.Cut(rest, "-")
 			if !ok {
-				return bad(fmt.Errorf("want D start-end"))
+				return bad("want D start-end")
 			}
 			start, err := strconv.ParseInt(lo, 10, 64)
 			if err != nil {
-				return bad(err)
+				return bad("%v", err)
 			}
 			end, err := strconv.ParseInt(hi, 10, 64)
 			if err != nil {
-				return bad(err)
+				return bad("%v", err)
 			}
 			if start < 0 || end < start {
-				return bad(fmt.Errorf("range %d-%d invalid", start, end))
+				return bad("range %d-%d invalid", start, end)
 			}
 			ck.DoneRanges = append(ck.DoneRanges, [2]int64{start, end})
 		default:
-			return bad(fmt.Errorf("unknown tag %q", tag))
+			return bad("unknown tag %q", tag)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if !sawHeader {
-		return nil, fmt.Errorf("core: not a checkpoint file (no `# checkpoint v1` header)")
+		return nil, &CorruptError{Reason: "not a checkpoint file (no `# checkpoint v1` header)"}
+	}
+	if !sawEnd {
+		return nil, &CorruptError{Reason: fmt.Sprintf("missing `# end` footer after %d rows (truncated write?)", rows)}
+	}
+	if rows != wantRows {
+		return nil, &CorruptError{Reason: fmt.Sprintf("footer declares %d rows, file has %d", wantRows, rows)}
 	}
 	return ck, nil
 }
 
 // LoadCheckpoint reads a checkpoint file. A missing file surfaces as
-// os.ErrNotExist so resume-from-nothing can start fresh.
+// os.ErrNotExist so resume-from-nothing can start fresh; an
+// integrity failure surfaces as a *CorruptError carrying the path
+// (errors.Is ErrCheckpointCorrupt) so callers can quarantine the file.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -372,6 +516,12 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	defer f.Close()
 	ck, err := ReadCheckpoint(f)
+	var corrupt *CorruptError
+	if errors.As(err, &corrupt) {
+		c := *corrupt
+		c.Path = path
+		return nil, &c
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint %s: %w", path, err)
 	}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Domain:        "mask.icloud.com.",
+		UniverseTotal: 512,
+		Addresses: map[netip.Addr]bgp.ASN{
+			netip.MustParseAddr("192.0.2.7"): 65001,
+		},
+		Serving: map[bgp.ASN]map[bgp.ASN]int64{
+			65010: {65001: 4},
+		},
+		Counters:   map[string]int64{"queries": 12},
+		DoneRanges: [][2]int64{{0, 63}},
+	}
+}
+
+// TestCheckpointTruncationRejected: any prefix of a valid checkpoint
+// that lost its footer must be rejected as corrupt — never resumed as
+// a silently partial state.
+func TestCheckpointTruncationRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleCheckpoint().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	if !strings.Contains(full, "# end ") {
+		t.Fatalf("checkpoint lacks footer:\n%s", full)
+	}
+
+	// Chop the footer line (clean truncation at a line boundary).
+	idx := strings.LastIndex(full, "# end ")
+	if _, err := ReadCheckpoint(strings.NewReader(full[:idx])); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("footer-less checkpoint: err = %v, want ErrCheckpointCorrupt", err)
+	}
+
+	// Chop mid-row (torn write).
+	if _, err := ReadCheckpoint(strings.NewReader(full[:len(full)/2])); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("mid-row truncation: err = %v, want ErrCheckpointCorrupt", err)
+	}
+
+	// A row deleted from the middle changes the count the footer pins.
+	lines := strings.Split(strings.TrimSuffix(full, "\n"), "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, "A ") {
+			mangled := strings.Join(append(append([]string(nil), lines[:i]...), lines[i+1:]...), "\n")
+			if _, err := ReadCheckpoint(strings.NewReader(mangled)); !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("row-count mismatch: err = %v, want ErrCheckpointCorrupt", err)
+			}
+			break
+		}
+	}
+
+	// Garbage rows are corrupt, not ignored.
+	bad := strings.Replace(full, "A 192.0.2.7,65001", "A not-an-addr,xyz", 1)
+	if _, err := ReadCheckpoint(strings.NewReader(bad)); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("garbage row: err = %v, want ErrCheckpointCorrupt", err)
+	}
+
+	// The intact file still round-trips.
+	if _, err := ReadCheckpoint(strings.NewReader(full)); err != nil {
+		t.Fatalf("intact checkpoint rejected: %v", err)
+	}
+}
+
+// TestLoadCheckpointCorruptCarriesPath: LoadCheckpoint decorates the
+// typed error with the offending path so operators can find the file.
+func TestLoadCheckpointCorruptCarriesPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	if err := os.WriteFile(path, []byte("# checkpoint v1\nA 192.0.2.1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(path)
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("err = %v, want ErrCheckpointCorrupt", err)
+	}
+	var corrupt *CorruptError
+	if !errors.As(err, &corrupt) || corrupt.Path != path {
+		t.Fatalf("corrupt error lacks path: %v", err)
+	}
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "missing.ckpt")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestCheckpointWriteFileDurable: WriteFile goes through the atomic
+// temp+fsync+rename path and the result loads back identically.
+func TestCheckpointWriteFileDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.ckpt")
+	ck := sampleCheckpoint()
+	if err := ck.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Domain != ck.Domain || got.UniverseTotal != ck.UniverseTotal ||
+		got.Addresses[netip.MustParseAddr("192.0.2.7")] != 65001 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+// TestReadCanonicalRoundTrip: WriteCanonical → ReadCanonical →
+// WriteCanonical is byte-stable, so persisted dataset generations can
+// be reloaded for diffing.
+func TestReadCanonicalRoundTrip(t *testing.T) {
+	ds := &Dataset{
+		Domain: "mask.icloud.com.",
+		Addresses: map[netip.Addr]bgp.ASN{
+			netip.MustParseAddr("203.0.113.9"): 65001,
+			netip.MustParseAddr("203.0.113.2"): 65002,
+		},
+		Serving: map[bgp.ASN]*ServingStats{
+			65100: {SubnetsByOperator: map[bgp.ASN]int64{65001: 7, 65002: 2}},
+			65101: {SubnetsByOperator: map[bgp.ASN]int64{65001: 1}},
+		},
+	}
+	var first bytes.Buffer
+	if err := ds.WriteCanonical(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCanonical(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Domain != ds.Domain {
+		t.Fatalf("domain = %q, want %q", back.Domain, ds.Domain)
+	}
+	var second bytes.Buffer
+	if err := back.WriteCanonical(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("canonical round trip not byte-stable:\n%s\nvs\n%s", first.String(), second.String())
+	}
+
+	if _, err := ReadCanonical(strings.NewReader("Z nonsense\n")); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+}

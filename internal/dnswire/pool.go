@@ -1,6 +1,9 @@
 package dnswire
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Message pooling for the exchange hot path. The authoritative server
 // assembles every response in a pooled Message, and consumers that are
@@ -24,13 +27,33 @@ import "sync"
 //     slices are gone and its EDNS scratch will be rewritten by the next
 //     owner.
 
-var msgPool = sync.Pool{New: func() any { return new(Message) }}
+// poolAcquires / poolMisses feed the pool-hit-rate metric relayd
+// exports: a miss is an acquire the pool served by allocating a fresh
+// Message. Plain atomic adds — they never allocate, so the 0 allocs/op
+// contract on the exchange path holds.
+var (
+	poolAcquires atomic.Int64
+	poolMisses   atomic.Int64
+)
+
+var msgPool = sync.Pool{New: func() any {
+	poolMisses.Add(1)
+	return new(Message)
+}}
+
+// MessagePoolStats reports lifetime acquire and miss counts for the
+// message pool. The hit rate is (acquires-misses)/acquires; misses also
+// approximate the pool's allocation pressure.
+func MessagePoolStats() (acquires, misses int64) {
+	return poolAcquires.Load(), poolMisses.Load()
+}
 
 // AcquireMessage returns a pooled Message. Its section slices are nil
 // and its Header is zero; Edns may point at scratch EDNS/ClientSubnet
 // structs from a previous life — overwrite them (e.g. via SetECS or
 // DecodeInto) or set Edns to nil before use.
 func AcquireMessage() *Message {
+	poolAcquires.Add(1)
 	m := msgPool.Get().(*Message)
 	m.pooled = true
 	return m

@@ -30,6 +30,7 @@ var deterministicPkgs = []string{
 	"internal/atlas",
 	"internal/faults",
 	"internal/masque",
+	"internal/relayd",
 }
 
 // wallClockFuncs are the time package functions that read the wall

@@ -1,6 +1,9 @@
 package masque
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Frame pooling for the relay serving plane. The steady-state frame
 // path — tunnel read, reservation debit, egress delivery — runs in
@@ -24,12 +27,30 @@ import "sync"
 // release so one hostile burst cannot pin megabytes in the pool.
 const maxPooledPayload = 64 * 1024
 
-var framePool = sync.Pool{New: func() any { return new(Frame) }}
+// framePoolAcquires / framePoolMisses feed the pool-hit-rate metric
+// relayd exports: a miss is an acquire served by allocating a fresh
+// Frame. Plain atomic adds keep the 0 allocs/op frame path intact.
+var (
+	framePoolAcquires atomic.Int64
+	framePoolMisses   atomic.Int64
+)
+
+var framePool = sync.Pool{New: func() any {
+	framePoolMisses.Add(1)
+	return new(Frame)
+}}
+
+// FramePoolStats reports lifetime acquire and miss counts for the
+// frame pool. The hit rate is (acquires-misses)/acquires.
+func FramePoolStats() (acquires, misses int64) {
+	return framePoolAcquires.Load(), framePoolMisses.Load()
+}
 
 // AcquireFrame returns a pooled frame. Its Type, StreamID and Payload
 // are zero; payload storage from a previous life is retained and
 // reused by SetPayload / FrameReader.ReadInto.
 func AcquireFrame() *Frame {
+	framePoolAcquires.Add(1)
 	f := framePool.Get().(*Frame)
 	f.pooled = true
 	return f

@@ -1,0 +1,35 @@
+// Command httpget is the smoke scripts' curl stand-in: GET one URL,
+// copy the body to stdout, exit nonzero unless the status is 200. The
+// CI runners only guarantee the go toolchain, so the scripts shell out
+// to this instead of assuming curl or wget.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: httpget <url>")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "httpget: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintf(os.Stderr, "httpget: %v\n", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "httpget: %s: %s\n", os.Args[1], resp.Status)
+		os.Exit(1)
+	}
+}

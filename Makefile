@@ -34,7 +34,7 @@ race:
 # report noise, so these files carry a `//go:build !race` tag and get
 # their own non-race invocation (CI runs this in the chaos job).
 alloc:
-	$(GO) test -run 'ZeroAlloc|AllocBudget' ./internal/dnsserver/ ./internal/core/ ./internal/masque/
+	$(GO) test -run 'ZeroAlloc|AllocBudget' ./internal/dnsserver/ ./internal/dnswire/ ./internal/core/ ./internal/masque/
 
 # Chaos suite under the race detector: scans through the fault plane
 # converge to the fault-free dataset, killed scans resume bit-identically,
@@ -42,7 +42,7 @@ alloc:
 chaos:
 	$(GO) test -race \
 		-run 'Chaos|Checkpoint|Backoff|Breaker|Fault|Injector|Profile|Resilien|Retr|Resume|Dominant|Rotation|Campaign|BlockingStudy|RunDirect|RunRetries|RunDisting|ConnectWithRetry|VirtualClock' \
-		./internal/faults/ ./internal/core/ ./internal/dnsserver/ ./internal/scan/ ./internal/atlas/ ./internal/masque/ ./internal/relayd/
+		./internal/faults/ ./internal/core/ ./internal/colstore/ ./internal/dnsserver/ ./internal/scan/ ./internal/atlas/ ./internal/masque/ ./internal/relayd/
 
 # End-to-end service smoke: boot cmd/relayd on the virtual clock, wait
 # for a full cycle, scrape /healthz and /metrics, SIGTERM, and require
@@ -67,6 +67,9 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'BenchmarkAuthServerHandle$$|BenchmarkExchangeMemTransport$$|BenchmarkExchangeUDP$$' -benchtime 2000x -benchmem ./internal/dnsserver/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkScanThroughput$$' -benchtime 1x -benchmem . ; } | $(GO) run ./cmd/benchjson > $(BENCH_DIR)/BENCH_exchange.json
 	@cat $(BENCH_DIR)/BENCH_exchange.json
+	{ $(GO) test -run '^$$' -bench 'BenchmarkPersistCanonicalRead$$|BenchmarkPersistSidecarLoad$$|BenchmarkDiffMap$$|BenchmarkDiffStreaming$$' -benchtime 10x . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkPersistSidecarEncode$$' -benchtime 500x . ; } | $(GO) run ./cmd/benchjson > $(BENCH_DIR)/BENCH_persist.json
+	@cat $(BENCH_DIR)/BENCH_persist.json
 	$(MAKE) BENCH_DIR=$(BENCH_DIR) relay-bench
 
 # Serving-plane load run: cmd/relayload establishes 1M concurrent
@@ -82,9 +85,11 @@ relay-bench:
 # exits 1 on any regression beyond the threshold, which fails the
 # chained recipe (and so the CI bench-gate job). Noisy benchmarks get
 # per-benchmark thresholds instead of threatening CI: the
-# single-iteration scan bench swings ±15% run to run, and relayload's
+# single-iteration scan bench swings ±15% run to run, relayload's
 # wall-clock phases breathe with runner scheduling (the tiny-ns
-# rejection p99 most of all).
+# rejection p99 most of all), and the persist benches (10 iterations
+# of multi-ms disk-and-parse work) gate at 50% — wide enough for a
+# loaded runner, tight enough to catch the ~12×/~30× wins regressing.
 bench-gate:
 	@dir=$$(mktemp -d) && \
 	$(MAKE) BENCH_DIR=$$dir bench-json && \
@@ -92,6 +97,8 @@ bench-gate:
 	$(GO) run ./cmd/benchdiff \
 		-threshold-for 'BenchmarkScanThroughput.*=35' \
 		BENCH_exchange.json $$dir/BENCH_exchange.json && \
+	$(GO) run ./cmd/benchdiff -threshold 50 \
+		BENCH_persist.json $$dir/BENCH_persist.json && \
 	$(GO) run ./cmd/benchdiff -threshold 35 \
 		-threshold-for 'BenchmarkRelayRejectP99=200' \
 		-threshold-for 'BenchmarkRelaySessionSetup=50' \

@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"math/bits"
 	"net/netip"
+	"runtime"
 	"slices"
 	"strings"
 	"sync"
 
 	"github.com/relay-networks/privaterelay/internal/aspop"
 	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/colstore"
 	"github.com/relay-networks/privaterelay/internal/core"
 	"github.com/relay-networks/privaterelay/internal/egress"
 	"github.com/relay-networks/privaterelay/internal/netsim"
@@ -29,20 +31,22 @@ import (
 // caller passes 0.
 const DefaultWorkers = 8
 
+// minShardItems floors the work per shard: below this, the goroutine
+// hand-off plus the per-shard accumulator merge cost more than the
+// parallelism buys, and requesting many shards on a small input (or a
+// small machine) makes the build slower than running it sequentially.
+const minShardItems = 1 << 13
+
 // forShards splits n items into `workers` contiguous index ranges and
 // runs fn(shard, lo, hi) on each concurrently. Shards see disjoint input
 // slices and write disjoint accumulators; the caller merges afterwards,
-// so results cannot depend on scheduling.
+// so results cannot depend on scheduling. The requested worker count is
+// a ceiling, not a promise: it is capped by the input size (via
+// minShardItems) and the machine (workers0), and every table builder is
+// shard-count-independent by construction, so the clamp never changes a
+// result — only how it is partitioned.
 func forShards(n, workers int, fn func(shard, lo, hi int)) int {
-	if workers <= 0 {
-		workers = DefaultWorkers
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers = workers0(workers, n)
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
 	shards := 0
@@ -97,6 +101,29 @@ func Table1(months []bgp.Month, def, fallback map[bgp.Month]*core.Dataset) []Tab
 		if ds := fallback[m]; ds != nil {
 			row.FallbackPresent = true
 			c := ds.OperatorCounts()
+			row.FallbackApple = c[netsim.ASApple]
+			row.FallbackAkamai = c[netsim.ASAkamaiPR]
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table1Columns is Table1 over columnar datasets — what relayd feeds it
+// from loaded sidecars, skipping the map rebuild entirely. Row contents
+// are identical to Table1 over the equivalent map datasets.
+func Table1Columns(months []bgp.Month, def, fallback map[bgp.Month]*colstore.Dataset) []Table1Row {
+	rows := make([]Table1Row, 0, len(months))
+	for _, m := range months {
+		row := Table1Row{Month: m}
+		if cs := def[m]; cs != nil {
+			c := cs.OperatorCounts()
+			row.DefaultApple = c[netsim.ASApple]
+			row.DefaultAkamai = c[netsim.ASAkamaiPR]
+		}
+		if cs := fallback[m]; cs != nil {
+			row.FallbackPresent = true
+			c := cs.OperatorCounts()
 			row.FallbackApple = c[netsim.ASApple]
 			row.FallbackAkamai = c[netsim.ASAkamaiPR]
 		}
@@ -376,13 +403,20 @@ func Table3N(attributed []egress.Attributed, workers int) []Table3Row {
 	return out
 }
 
-// workers0 mirrors forShards's clamp so callers can size shard slices.
+// workers0 is forShards's clamp (callers also use it to size shard
+// slices): the requested count, bounded by what the machine can run
+// (2×GOMAXPROCS — a little headroom over the core count hides stragglers
+// without flooding the scheduler) and by the input size (at least
+// minShardItems per shard), never below 1.
 func workers0(workers, items int) int {
 	if workers <= 0 {
 		workers = DefaultWorkers
 	}
-	if workers > items {
-		workers = items
+	if cap := 2 * runtime.GOMAXPROCS(0); workers > cap {
+		workers = cap
+	}
+	if cap := items / minShardItems; workers > cap {
+		workers = cap
 	}
 	if workers < 1 {
 		workers = 1

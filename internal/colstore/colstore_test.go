@@ -1,0 +1,241 @@
+package colstore
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"slices"
+	"testing"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+)
+
+// seededDataset builds a dataset with v4n IPv4 and v6n IPv6 rows (plus
+// a few serving triples) from a seeded source, in shuffled insertion
+// order, then normalizes. Returned datasets are deterministic per seed.
+func seededDataset(t testing.TB, seed uint64, v4n, v6n int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xc01))
+	d := &Dataset{Domain: "mask.icloud.com."}
+	seen4 := map[uint32]bool{}
+	for len(d.V4Addr) < v4n {
+		k := rng.Uint32()
+		if seen4[k] {
+			continue
+		}
+		seen4[k] = true
+		d.V4Addr = append(d.V4Addr, k)
+		d.V4ASN = append(d.V4ASN, bgp.ASN(rng.Uint32N(70000)+1))
+	}
+	type key6 struct{ hi, lo uint64 }
+	seen6 := map[key6]bool{}
+	for len(d.V6Hi) < v6n {
+		k := key6{rng.Uint64(), rng.Uint64()}
+		if seen6[k] {
+			continue
+		}
+		seen6[k] = true
+		d.V6Hi = append(d.V6Hi, k.hi)
+		d.V6Lo = append(d.V6Lo, k.lo)
+		d.V6ASN = append(d.V6ASN, bgp.ASN(rng.Uint32N(70000)+1))
+	}
+	for c := 0; c < 5 && v4n > 0; c++ {
+		d.SrvClient = append(d.SrvClient, bgp.ASN(100+c))
+		d.SrvOp = append(d.SrvOp, bgp.ASN(rng.Uint32N(3)+6185))
+		d.SrvCount = append(d.SrvCount, int64(rng.Uint32N(1000)))
+	}
+	if err := d.Normalize(); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	return d
+}
+
+// TestColumnOrderMatchesNetipCompare is the ordering contract: the
+// family-split columns visit addresses in exactly netip.Addr.Compare
+// order, including 4-in-6 addresses landing in the v6 column.
+func TestColumnOrderMatchesNetipCompare(t *testing.T) {
+	d := seededDataset(t, 7, 300, 200)
+	// Mix in a 4-in-6 mapped address: Is4() is false, so it belongs to
+	// the v6 column even though it prints like IPv4.
+	mapped := netip.AddrFrom16(netip.MustParseAddr("::ffff:10.1.2.3").As16())
+	hi, lo := V6Key(mapped)
+	d.V6Hi = append(d.V6Hi, hi)
+	d.V6Lo = append(d.V6Lo, lo)
+	d.V6ASN = append(d.V6ASN, 714)
+	if err := d.Normalize(); err != nil {
+		t.Fatalf("re-Normalize: %v", err)
+	}
+
+	var got []netip.Addr
+	d.ForEachAddr(func(a netip.Addr, _ bgp.ASN) bool {
+		got = append(got, a)
+		return true
+	})
+	want := slices.Clone(got)
+	slices.SortFunc(want, netip.Addr.Compare)
+	if !slices.Equal(got, want) {
+		t.Fatalf("column order diverges from netip.Addr.Compare order")
+	}
+	if !slices.Contains(got, mapped) {
+		t.Fatalf("4-in-6 address missing from walk")
+	}
+}
+
+func TestNormalizeRejectsDuplicates(t *testing.T) {
+	d := &Dataset{
+		V4Addr: []uint32{9, 3, 9},
+		V4ASN:  []bgp.ASN{1, 2, 3},
+	}
+	if err := d.Normalize(); err == nil {
+		t.Fatal("duplicate v4 key accepted")
+	}
+	d = &Dataset{
+		SrvClient: []bgp.ASN{5, 5},
+		SrvOp:     []bgp.ASN{7, 7},
+		SrvCount:  []int64{1, 2},
+	}
+	if err := d.Normalize(); err == nil {
+		t.Fatal("duplicate serving key accepted")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	d := seededDataset(t, 11, 500, 400)
+	hits := 0
+	d.ForEachAddr(func(a netip.Addr, as bgp.ASN) bool {
+		got, ok := d.Lookup(a)
+		if !ok || got != as {
+			t.Fatalf("Lookup(%v) = %v, %v; want %v, true", a, got, ok, as)
+		}
+		hits++
+		return true
+	})
+	if hits != d.Addrs() {
+		t.Fatalf("visited %d rows, want %d", hits, d.Addrs())
+	}
+	for _, miss := range []string{"0.0.0.0", "255.255.255.255", "::", "2001:db8::1"} {
+		a := netip.MustParseAddr(miss)
+		if _, ok := d.Lookup(a); ok {
+			// A seeded collision is astronomically unlikely; treat as bug.
+			t.Fatalf("Lookup(%v) unexpectedly hit", a)
+		}
+	}
+	if _, ok := d.Lookup(netip.Addr{}); ok {
+		t.Fatal("Lookup(zero Addr) hit")
+	}
+}
+
+// naiveDiff is the reference: map both datasets, walk the union, sort.
+func naiveDiff(old, new *Dataset) []Change {
+	om := map[netip.Addr]bgp.ASN{}
+	nm := map[netip.Addr]bgp.ASN{}
+	old.ForEachAddr(func(a netip.Addr, as bgp.ASN) bool { om[a] = as; return true })
+	new.ForEachAddr(func(a netip.Addr, as bgp.ASN) bool { nm[a] = as; return true })
+	var out []Change
+	for a, as := range om {
+		nas, ok := nm[a]
+		switch {
+		case !ok:
+			out = append(out, Change{Kind: Vanished, Addr: a, OldAS: as})
+		case nas != as:
+			out = append(out, Change{Kind: MovedAS, Addr: a, OldAS: as, NewAS: nas})
+		}
+	}
+	for a, as := range nm {
+		if _, ok := om[a]; !ok {
+			out = append(out, Change{Kind: Appeared, Addr: a, NewAS: as})
+		}
+	}
+	slices.SortFunc(out, func(x, y Change) int { return x.Addr.Compare(y.Addr) })
+	return out
+}
+
+// mutate derives a changed successor of d: drop some rows, add some,
+// move some origins — per seeded coin flips, mirroring month churn.
+func mutate(t testing.TB, d *Dataset, seed uint64) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0xd1ff))
+	n := &Dataset{Domain: d.Domain,
+		SrvClient: slices.Clone(d.SrvClient),
+		SrvOp:     slices.Clone(d.SrvOp),
+		SrvCount:  slices.Clone(d.SrvCount)}
+	for i := range d.V4Addr {
+		switch rng.Uint32N(10) {
+		case 0: // drop
+		case 1: // move AS
+			n.V4Addr = append(n.V4Addr, d.V4Addr[i])
+			n.V4ASN = append(n.V4ASN, d.V4ASN[i]+1)
+		default:
+			n.V4Addr = append(n.V4Addr, d.V4Addr[i])
+			n.V4ASN = append(n.V4ASN, d.V4ASN[i])
+		}
+	}
+	for i := range d.V6Hi {
+		switch rng.Uint32N(10) {
+		case 0:
+		case 1:
+			n.V6Hi = append(n.V6Hi, d.V6Hi[i])
+			n.V6Lo = append(n.V6Lo, d.V6Lo[i])
+			n.V6ASN = append(n.V6ASN, d.V6ASN[i]+1)
+		default:
+			n.V6Hi = append(n.V6Hi, d.V6Hi[i])
+			n.V6Lo = append(n.V6Lo, d.V6Lo[i])
+			n.V6ASN = append(n.V6ASN, d.V6ASN[i])
+		}
+	}
+	for i := 0; i < 20; i++ {
+		n.V4Addr = append(n.V4Addr, rng.Uint32())
+		n.V4ASN = append(n.V4ASN, bgp.ASN(rng.Uint32N(70000)+1))
+		n.V6Hi = append(n.V6Hi, rng.Uint64())
+		n.V6Lo = append(n.V6Lo, rng.Uint64())
+		n.V6ASN = append(n.V6ASN, bgp.ASN(rng.Uint32N(70000)+1))
+	}
+	if err := n.Normalize(); err != nil {
+		t.Fatalf("mutate Normalize: %v", err)
+	}
+	return n
+}
+
+// TestDiffMatchesNaive checks the streaming merge against the map-based
+// reference across seeded old→new pairs, both families.
+func TestDiffMatchesNaive(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		old := seededDataset(t, seed, 400, 300)
+		new := mutate(t, old, seed*31)
+		var got []Change
+		Diff(old, new, func(c Change) bool { got = append(got, c); return true })
+		want := naiveDiff(old, new)
+		if !slices.Equal(got, want) {
+			t.Fatalf("seed %d: streaming diff has %d changes, reference %d (or order/content mismatch)",
+				seed, len(got), len(want))
+		}
+		// Emission order must itself be canonical.
+		if !slices.IsSortedFunc(got, func(x, y Change) int { return x.Addr.Compare(y.Addr) }) {
+			t.Fatalf("seed %d: changes not emitted in canonical address order", seed)
+		}
+	}
+}
+
+func TestDiffEarlyStop(t *testing.T) {
+	old := seededDataset(t, 3, 50, 50)
+	new := &Dataset{Domain: old.Domain} // everything vanishes
+	calls := 0
+	Diff(old, new, func(Change) bool { calls++; return calls < 3 })
+	if calls != 3 {
+		t.Fatalf("callback ran %d times after early stop, want 3", calls)
+	}
+}
+
+func TestOperatorCountsMatchesWalk(t *testing.T) {
+	d := seededDataset(t, 19, 200, 150)
+	want := map[bgp.ASN]int{}
+	d.ForEachAddr(func(_ netip.Addr, as bgp.ASN) bool { want[as]++; return true })
+	got := d.OperatorCounts()
+	if len(got) != len(want) {
+		t.Fatalf("OperatorCounts has %d operators, want %d", len(got), len(want))
+	}
+	for as, n := range want {
+		if got[as] != n {
+			t.Fatalf("operator %d: count %d, want %d", as, got[as], n)
+		}
+	}
+}

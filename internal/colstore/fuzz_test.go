@@ -1,0 +1,45 @@
+package colstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+)
+
+// FuzzDecodeBinary hardens the sidecar codec against arbitrary bytes:
+// decoding must never panic, every rejection must be the typed
+// *CorruptError, and anything accepted must re-encode losslessly.
+func FuzzDecodeBinary(f *testing.F) {
+	f.Add((&Dataset{}).AppendBinary(nil, SourceInfo{}))
+	small := &Dataset{
+		Domain: "mask.icloud.com.",
+		V4Addr: []uint32{1, 2, 3}, V4ASN: []bgp.ASN{714, 714, 13335},
+		V6Hi: []uint64{1}, V6Lo: []uint64{2}, V6ASN: []bgp.ASN{6185},
+		SrvClient: []bgp.ASN{100}, SrvOp: []bgp.ASN{714},
+		SrvCount: []int64{42},
+	}
+	f.Add(small.AppendBinary(nil, SourceInfo{Size: 9, CRC: 0xabc}))
+	f.Add(bytes.Repeat([]byte{0x43}, 128))
+	f.Add([]byte("CLS1 but not really a sidecar at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, src, err := DecodeBinary(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-typed decode error: %v", err)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error is not *CorruptError: %v", err)
+			}
+			return
+		}
+		// Accepted input: the layout is fully validated, so the decoded
+		// dataset must re-encode to the exact input bytes.
+		if re := d.AppendBinary(nil, src); !bytes.Equal(re, data) {
+			t.Fatalf("accepted %d bytes but re-encode differs (%d bytes)", len(data), len(re))
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"net/netip"
 
 	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/colstore"
 	"github.com/relay-networks/privaterelay/internal/iputil"
 )
 
@@ -39,8 +40,13 @@ func (c TrafficClass) String() string {
 }
 
 // Classifier detects relay traffic from the two public datasets.
+// Ingress membership is answered from two planes: a map for datasets
+// merged address-by-address, and zero or more borrowed sorted column
+// sets (colstore.Dataset) probed by binary search — the latter cost no
+// copy at all, so a classifier over a loaded sidecar is free to build.
 type Classifier struct {
 	ingress map[netip.Addr]bgp.ASN
+	cols    []*colstore.Dataset
 	egress  iputil.Trie[bgp.ASN]
 }
 
@@ -59,6 +65,17 @@ func NewClassifier(ingress *Dataset, egressSubnets map[netip.Prefix]bgp.ASN) *Cl
 	return c
 }
 
+// NewClassifierColumns builds a classifier that borrows an ingress
+// column set — no per-address copying; the columns must stay immutable
+// for the classifier's lifetime.
+func NewClassifierColumns(ingress *colstore.Dataset, egressSubnets map[netip.Prefix]bgp.ASN) *Classifier {
+	c := NewClassifier(nil, egressSubnets)
+	if ingress != nil {
+		c.cols = append(c.cols, ingress)
+	}
+	return c
+}
+
 // AddIngress merges additional ingress addresses (e.g. the fallback
 // plane's dataset or a newer scan).
 func (c *Classifier) AddIngress(ds *Dataset) {
@@ -67,11 +84,33 @@ func (c *Classifier) AddIngress(ds *Dataset) {
 	}
 }
 
+// AddIngressColumns borrows an additional ingress column set. Later
+// additions win over earlier ones on overlapping addresses, matching
+// AddIngress's overwrite semantics; the map plane always wins last.
+func (c *Classifier) AddIngressColumns(cs *colstore.Dataset) {
+	c.cols = append(c.cols, cs)
+}
+
+// lookupIngress resolves an already-canonicalized address across both
+// ingress planes: the merged map first (it holds the newest explicit
+// merges), then borrowed columns newest-first.
+func (c *Classifier) lookupIngress(addr netip.Addr) (bgp.ASN, bool) {
+	if as, ok := c.ingress[addr]; ok {
+		return as, true
+	}
+	for i := len(c.cols) - 1; i >= 0; i-- {
+		if as, ok := c.cols[i].Lookup(addr); ok {
+			return as, true
+		}
+	}
+	return 0, false
+}
+
 // Classify labels a flow given by source and destination address, as seen
 // by a passive observer. Operator attribution (when matched) is returned
 // alongside.
 func (c *Classifier) Classify(src, dst netip.Addr) (TrafficClass, bgp.ASN) {
-	if as, ok := c.ingress[iputil.Canonical(dst)]; ok {
+	if as, ok := c.lookupIngress(iputil.Canonical(dst)); ok {
 		return ClassToIngress, as
 	}
 	if _, as, ok := c.egress.Lookup(src); ok {
@@ -82,7 +121,7 @@ func (c *Classifier) Classify(src, dst netip.Addr) (TrafficClass, bgp.ASN) {
 
 // IsIngress reports whether addr is a known ingress relay.
 func (c *Classifier) IsIngress(addr netip.Addr) bool {
-	_, ok := c.ingress[iputil.Canonical(addr)]
+	_, ok := c.lookupIngress(iputil.Canonical(addr))
 	return ok
 }
 

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand/v2"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/colstore"
+)
+
+// seededMapDataset builds a map-backed dataset with both address
+// families and serving stats, deterministic per seed.
+func seededMapDataset(seed uint64, addrs int) *Dataset {
+	rng := rand.New(rand.NewPCG(seed, 0xc0de))
+	ds := &Dataset{
+		Domain:    "mask.icloud.com.",
+		Addresses: make(map[netip.Addr]bgp.ASN),
+		Serving:   make(map[bgp.ASN]*ServingStats),
+	}
+	for len(ds.Addresses) < addrs {
+		as := bgp.ASN(rng.Uint32N(70000) + 1)
+		if rng.Uint32N(3) == 0 {
+			var b [16]byte
+			binary.BigEndian.PutUint64(b[:8], rng.Uint64())
+			binary.BigEndian.PutUint64(b[8:], rng.Uint64())
+			ds.Addresses[netip.AddrFrom16(b)] = as
+		} else {
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], rng.Uint32())
+			ds.Addresses[netip.AddrFrom4(b)] = as
+		}
+	}
+	for c := 0; c < 4; c++ {
+		st := &ServingStats{SubnetsByOperator: make(map[bgp.ASN]int64)}
+		for o := 0; o < 3; o++ {
+			st.SubnetsByOperator[bgp.ASN(6185+o)] = int64(rng.Uint32N(500))
+		}
+		ds.Serving[bgp.ASN(100+c)] = st
+	}
+	return ds
+}
+
+// TestColumnsRoundTripBytes is the golden-format property: canonical
+// text → colstore → binary → colstore → text reproduces the exact
+// bytes, for several seeds.
+func TestColumnsRoundTripBytes(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		orig := seededMapDataset(seed, 500)
+		text := canonicalBytes(t, orig)
+
+		parsed, err := ReadCanonical(bytes.NewReader(text))
+		if err != nil {
+			t.Fatalf("ReadCanonical: %v", err)
+		}
+		cs, err := parsed.Columns()
+		if err != nil {
+			t.Fatalf("Columns: %v", err)
+		}
+		enc := cs.AppendBinary(nil, colstore.Fingerprint(text))
+		cs2, src, err := colstore.DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("DecodeBinary: %v", err)
+		}
+		if src != colstore.Fingerprint(text) {
+			t.Fatal("fingerprint did not round-trip")
+		}
+		back := canonicalBytes(t, FromColumns(cs2))
+		if !bytes.Equal(back, text) {
+			t.Fatalf("seed %d: canonical text did not survive the columnar round trip", seed)
+		}
+	}
+}
+
+func TestColumnsOperatorCountsAgree(t *testing.T) {
+	ds := seededMapDataset(7, 300)
+	cs, err := ds.Columns()
+	if err != nil {
+		t.Fatalf("Columns: %v", err)
+	}
+	want := ds.OperatorCounts()
+	got := cs.OperatorCounts()
+	if len(got) != len(want) {
+		t.Fatalf("columnar OperatorCounts has %d operators, map %d", len(got), len(want))
+	}
+	for as, n := range want {
+		if got[as] != n {
+			t.Fatalf("operator %d: columnar %d, map %d", as, got[as], n)
+		}
+	}
+}
+
+// TestSidecarChaosLifecycle drives LoadColumns through every sidecar
+// state — present, missing, stale, corrupt — and checks each repairs to
+// a byte-identical sidecar and identical columns.
+func TestSidecarChaosLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "2022-01.ds")
+	ds := seededMapDataset(3, 400)
+	if err := SaveCanonicalFile(path, ds); err != nil {
+		t.Fatalf("SaveCanonicalFile: %v", err)
+	}
+	scPath := SidecarPath(path)
+	golden, err := os.ReadFile(scPath)
+	if err != nil {
+		t.Fatalf("sidecar missing after save: %v", err)
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(wantStatus SidecarStatus) *colstore.Dataset {
+		t.Helper()
+		cs, status, err := LoadColumns(path)
+		if err != nil {
+			t.Fatalf("LoadColumns: %v", err)
+		}
+		if status != wantStatus {
+			t.Fatalf("status %v, want %v", status, wantStatus)
+		}
+		now, err := os.ReadFile(scPath)
+		if err != nil || !bytes.Equal(now, golden) {
+			t.Fatalf("sidecar bytes diverged after %v load (err=%v)", wantStatus, err)
+		}
+		if got := canonicalBytes(t, FromColumns(cs)); !bytes.Equal(got, text) {
+			t.Fatalf("columns after %v load do not reproduce the canonical text", wantStatus)
+		}
+		return cs
+	}
+
+	load(SidecarHit)
+
+	// Missing: a crash between text and sidecar writes.
+	if err := os.Remove(scPath); err != nil {
+		t.Fatal(err)
+	}
+	load(SidecarMiss)
+	load(SidecarHit)
+
+	// Stale: valid sidecar fingerprinting different text bytes.
+	other := seededMapDataset(99, 50)
+	cs99, err := other.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleEnc := cs99.AppendBinary(nil, colstore.Fingerprint([]byte("other text")))
+	if err := os.WriteFile(scPath, staleEnc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	load(SidecarStale)
+
+	// Corrupt: torn write / bit rot mid-file.
+	torn := append([]byte(nil), golden...)
+	torn[len(torn)/2] ^= 0xff
+	if err := os.WriteFile(scPath, torn[:len(torn)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	load(SidecarQuarantined)
+	if q, err := os.ReadFile(scPath + ".corrupt"); err != nil || !bytes.Equal(q, torn[:len(torn)-3]) {
+		t.Fatalf("quarantine file missing or altered (err=%v)", err)
+	}
+	load(SidecarHit)
+
+	// The text failing to parse is the only fatal path.
+	if err := os.WriteFile(path, []byte("not canonical at all\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadColumns(path); err == nil {
+		t.Fatal("garbage canonical text loaded without error")
+	}
+}
+
+func TestClassifierColumnsAgreesWithMap(t *testing.T) {
+	ds := seededMapDataset(5, 300)
+	cs, err := ds.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	egress := map[netip.Prefix]bgp.ASN{netip.MustParsePrefix("203.0.113.0/24"): 714}
+	byMap := NewClassifier(ds, egress)
+	byCols := NewClassifierColumns(cs, egress)
+	probe := netip.MustParseAddr("198.51.100.7")
+	for addr := range ds.Addresses {
+		wc, was := byMap.Classify(probe, addr)
+		gc, gas := byCols.Classify(probe, addr)
+		if wc != gc || was != gas {
+			t.Fatalf("Classify(dst=%v): columns (%v,%v), map (%v,%v)", addr, gc, gas, wc, was)
+		}
+		if !byCols.IsIngress(addr) {
+			t.Fatalf("IsIngress(%v) false via columns", addr)
+		}
+	}
+	if byCols.IsIngress(netip.MustParseAddr("192.0.2.1")) {
+		t.Fatal("false ingress hit via columns")
+	}
+	if cls, as := byCols.Classify(netip.MustParseAddr("203.0.113.9"), probe); cls != ClassFromEgress || as != 714 {
+		t.Fatalf("egress classification broken: %v,%v", cls, as)
+	}
+}

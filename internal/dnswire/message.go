@@ -202,11 +202,18 @@ func DecodeInto(msg []byte, m *Message) error {
 	ns := int(binary.BigEndian.Uint16(msg[8:10]))
 	ar := int(binary.BigEndian.Uint16(msg[10:12]))
 
+	// One per-message name memo, living on this frame: every repeated
+	// (compression-pointed) name after the first decode is a cache hit,
+	// and uncached names assemble in the memo's scratch instead of a
+	// strings.Builder — the decode loop's remaining allocations are one
+	// string per *distinct* name plus the record slices' steady state.
+	var names nameCache
+
 	off := 12
 	var err error
 	for i := 0; i < qd; i++ {
 		var q Question
-		q.Name, off, err = decodeName(msg, off)
+		q.Name, off, err = decodeNameCached(msg, off, &names)
 		if err != nil {
 			return err
 		}
@@ -231,7 +238,7 @@ func DecodeInto(msg []byte, m *Message) error {
 		}
 		for i := 0; i < n; i++ {
 			var r Record
-			r, off, err = decodeRecord(msg, off)
+			r, off, err = decodeRecord(msg, off, &names)
 			if err != nil {
 				return err
 			}
@@ -255,10 +262,10 @@ func DecodeInto(msg []byte, m *Message) error {
 
 // decodeRecord parses one RR starting at off, returning it and the offset
 // just past it.
-func decodeRecord(msg []byte, off int) (Record, int, error) {
+func decodeRecord(msg []byte, off int, names *nameCache) (Record, int, error) {
 	var r Record
 	var err error
-	r.Name, off, err = decodeName(msg, off)
+	r.Name, off, err = decodeNameCached(msg, off, names)
 	if err != nil {
 		return r, 0, err
 	}
@@ -290,15 +297,15 @@ func decodeRecord(msg []byte, off int) (Record, int, error) {
 		copy(b[:], rdata)
 		r.AAAA = netip.AddrFrom16(b)
 	case TypeNS:
-		if r.NS, _, err = decodeName(msg, off); err != nil {
+		if r.NS, _, err = decodeNameCached(msg, off, names); err != nil {
 			return r, 0, err
 		}
 	case TypeCNAME:
-		if r.CNAME, _, err = decodeName(msg, off); err != nil {
+		if r.CNAME, _, err = decodeNameCached(msg, off, names); err != nil {
 			return r, 0, err
 		}
 	case TypePTR:
-		if r.PTR, _, err = decodeName(msg, off); err != nil {
+		if r.PTR, _, err = decodeNameCached(msg, off, names); err != nil {
 			return r, 0, err
 		}
 	case TypeTXT:
@@ -313,10 +320,10 @@ func decodeRecord(msg []byte, off int) (Record, int, error) {
 	case TypeSOA:
 		soa := &SOAData{}
 		p := off
-		if soa.MName, p, err = decodeName(msg, p); err != nil {
+		if soa.MName, p, err = decodeNameCached(msg, p, names); err != nil {
 			return r, 0, err
 		}
-		if soa.RName, p, err = decodeName(msg, p); err != nil {
+		if soa.RName, p, err = decodeNameCached(msg, p, names); err != nil {
 			return r, 0, err
 		}
 		if p+20 > off+rdlen {

@@ -25,6 +25,7 @@ var Determinism = &Analyzer{
 var deterministicPkgs = []string{
 	"internal/netsim",
 	"internal/core",
+	"internal/colstore",
 	"internal/analysis",
 	"internal/egress",
 	"internal/atlas",

@@ -1,0 +1,481 @@
+package relayd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand/v2"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/colstore"
+	"github.com/relay-networks/privaterelay/internal/core"
+	"github.com/relay-networks/privaterelay/internal/dnsserver"
+)
+
+// The columnar data plane's relayd-level guarantees: the streaming
+// merge reproduces the map-based diff bytes exactly, sidecar damage in
+// any state (present / stale / corrupted mid-write) repairs to the
+// baseline tree, and retention compaction survives kills at every
+// stage without forking the durable bytes.
+
+// synthDataset builds a map-backed dataset with both families,
+// deterministic per (seed, month-index) so successive months churn.
+func synthDataset(seed uint64, addrs int) *core.Dataset {
+	rng := rand.New(rand.NewPCG(seed, 0x5e55))
+	ds := &core.Dataset{
+		Domain:    dnsserver.MaskDomain,
+		Addresses: make(map[netip.Addr]bgp.ASN),
+		Serving:   make(map[bgp.ASN]*core.ServingStats),
+	}
+	for len(ds.Addresses) < addrs {
+		as := bgp.ASN(rng.Uint32N(70000) + 1)
+		if rng.Uint32N(4) == 0 {
+			var b [16]byte
+			binary.BigEndian.PutUint64(b[:8], rng.Uint64())
+			binary.BigEndian.PutUint64(b[8:], rng.Uint64())
+			ds.Addresses[netip.AddrFrom16(b)] = as
+		} else {
+			var b [4]byte
+			binary.BigEndian.PutUint32(b[:], rng.Uint32())
+			ds.Addresses[netip.AddrFrom4(b)] = as
+		}
+	}
+	return ds
+}
+
+// synthMonths derives a churned month sequence: month i shares most of
+// month i-1's addresses, drops some, adds some, moves some origins.
+func synthMonths(t *testing.T, n, addrs int) []*core.Dataset {
+	t.Helper()
+	out := make([]*core.Dataset, n)
+	out[0] = synthDataset(1, addrs)
+	for i := 1; i < n; i++ {
+		rng := rand.New(rand.NewPCG(uint64(i), 0xc4a5))
+		ds := &core.Dataset{
+			Domain:    dnsserver.MaskDomain,
+			Addresses: make(map[netip.Addr]bgp.ASN),
+			Serving:   make(map[bgp.ASN]*core.ServingStats),
+		}
+		for a, as := range out[i-1].Addresses {
+			switch rng.Uint32N(12) {
+			case 0: // vanish
+			case 1:
+				ds.Addresses[a] = as + 1 // move AS
+			default:
+				ds.Addresses[a] = as
+			}
+		}
+		for a, as := range synthDataset(uint64(100+i), addrs/10).Addresses {
+			ds.Addresses[a] = as
+		}
+		out[i] = ds
+	}
+	return out
+}
+
+// TestStreamingDiffMatchesComputeDiff: ComputeDiffColumns over columnar
+// datasets renders byte-identically to the map-based ComputeDiff —
+// on the simulated baseline months and on synthetic v6-heavy worlds.
+func TestStreamingDiffMatchesComputeDiff(t *testing.T) {
+	t.Run("baseline", func(t *testing.T) {
+		dir := sharedBaseline(t)
+		pipe, err := NewPipeline(chaosServiceConfig(dir).Pipeline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		months := pipe.Months()
+		for _, domain := range []string{dnsserver.MaskDomain, dnsserver.MaskH2Domain} {
+			for g := 1; g < len(months); g++ {
+				a, err := pipe.LoadDataset(domain, months[g-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := pipe.LoadDataset(domain, months[g])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ca, err := pipe.LoadColumns(domain, months[g-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				cb, err := pipe.LoadColumns(domain, months[g])
+				if err != nil {
+					t.Fatal(err)
+				}
+				var mapped, streamed bytes.Buffer
+				if err := ComputeDiff(g, months[g-1], months[g], a, b).Write(&mapped); err != nil {
+					t.Fatal(err)
+				}
+				if err := ComputeDiffColumns(g, months[g-1], months[g], ca, cb).Write(&streamed); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(mapped.Bytes(), streamed.Bytes()) {
+					t.Fatalf("%s gen %d: streaming diff bytes differ from map-based", domain, g)
+				}
+			}
+		}
+	})
+	t.Run("synthetic-v6", func(t *testing.T) {
+		months := synthMonths(t, 6, 2000)
+		from, to := bgp.Month{Year: 2022, M: 1}, bgp.Month{Year: 2022, M: 2}
+		for i := 1; i < len(months); i++ {
+			a, b := months[i-1], months[i]
+			ca, err := a.Columns()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := b.Columns()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mapped, streamed bytes.Buffer
+			if err := ComputeDiff(i, from, to, a, b).Write(&mapped); err != nil {
+				t.Fatal(err)
+			}
+			if err := ComputeDiffColumns(i, from, to, ca, cb).Write(&streamed); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(mapped.Bytes(), streamed.Bytes()) {
+				t.Fatalf("synthetic gen %d: streaming diff bytes differ from map-based", i)
+			}
+			if streamed.Len() < 100 {
+				t.Fatalf("synthetic gen %d produced a near-empty diff — churn generator broken", i)
+			}
+		}
+	})
+}
+
+// copyDurableTree clones the durable roots of src into a fresh temp dir.
+func copyDurableTree(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	for rel, b := range durableTree(t, src) {
+		path := filepath.Join(dst, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// rerunDerived re-materializes every derived artifact (diffs, report)
+// over an existing dataset tree, exercising every sidecar load path.
+func rerunDerived(t *testing.T, dir string) {
+	t.Helper()
+	pipe, err := NewPipeline(chaosServiceConfig(dir).Pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.EnsureDiffs(len(pipe.Months()) - 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.WriteReport(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRelaydChaosSidecarResume: the byte-identity contract holds with
+// sidecars in all three damaged states — present (untouched), stale
+// (valid bytes fingerprinting older text), and corrupted mid-write
+// (truncated) — each repaired from the golden text on the next load.
+func TestRelaydChaosSidecarResume(t *testing.T) {
+	want := durableTree(t, sharedBaseline(t))
+	dir := copyDurableTree(t, sharedBaseline(t))
+
+	// Pick one dataset's sidecar to damage per scenario.
+	ds1 := filepath.Join(dir, "datasets", domainSlug(dnsserver.MaskDomain), "2022-01.ds")
+	ds2 := filepath.Join(dir, "datasets", domainSlug(dnsserver.MaskH2Domain), "2022-02.ds")
+	sc1, sc2 := core.SidecarPath(ds1), core.SidecarPath(ds2)
+	for _, p := range []string{ds1, ds2, sc1, sc2} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("fixture missing: %v", err)
+		}
+	}
+
+	compare := func(stage string) {
+		t.Helper()
+		got := durableTree(t, dir)
+		if len(got) != len(want) {
+			t.Fatalf("%s: durable file sets differ: %d vs %d", stage, len(got), len(want))
+		}
+		for rel, b := range want {
+			if !bytes.Equal(got[rel], b) {
+				t.Fatalf("%s: %s differs from baseline", stage, rel)
+			}
+		}
+	}
+
+	// Present: a no-op pass over intact sidecars changes nothing.
+	rerunDerived(t, dir)
+	compare("present")
+
+	// Stale: a valid sidecar built from different text bytes. Also drop
+	// a diff generation so the load path is actually exercised.
+	other := synthDataset(77, 50)
+	cols, err := other.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := cols.AppendBinary(nil, colstore.Fingerprint([]byte("older text")))
+	if err := os.WriteFile(sc1, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "diffs", domainSlug(dnsserver.MaskDomain), "gen-000001.diff")); err != nil {
+		t.Fatal(err)
+	}
+	rerunDerived(t, dir)
+	compare("stale")
+
+	// Corrupted mid-write: a torn sidecar (truncated tail, flipped byte).
+	enc, err := os.ReadFile(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte(nil), enc[:len(enc)*2/3]...)
+	if len(torn) > 40 {
+		torn[40] ^= 0xff
+	}
+	if err := os.WriteFile(sc2, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "diffs", domainSlug(dnsserver.MaskH2Domain), "gen-000002.diff")); err != nil {
+		t.Fatal(err)
+	}
+	rerunDerived(t, dir)
+	quarantine := sc2 + ".corrupt"
+	if q, err := os.ReadFile(quarantine); err != nil || !bytes.Equal(q, torn) {
+		t.Fatalf("corrupt sidecar not quarantined verbatim (err=%v)", err)
+	}
+	// The quarantine file is post-mortem residue, not durable output;
+	// remove it before the byte-identity comparison.
+	if err := os.Remove(quarantine); err != nil {
+		t.Fatal(err)
+	}
+	compare("corrupt")
+}
+
+// retentionConfig is a synthetic 12-month single-domain pipeline with
+// retention enabled; datasets are written directly (no scans).
+func retentionConfig(t *testing.T, dir string, keep int) (PipelineConfig, []*core.Dataset) {
+	t.Helper()
+	months := make([]bgp.Month, 12)
+	for i := range months {
+		months[i] = bgp.Month{Year: 2022, M: i + 1}
+	}
+	cfg := PipelineConfig{
+		Seed:                6,
+		Scale:               0.0008,
+		StateDir:            dir,
+		Months:              months,
+		Domains:             []string{dnsserver.MaskDomain},
+		KeepDiffGenerations: keep,
+	}
+	return cfg, synthMonths(t, 12, 1200)
+}
+
+func writeSynthDatasets(t *testing.T, pipe *Pipeline, data []*core.Dataset) {
+	t.Helper()
+	for i, m := range pipe.Months() {
+		path := pipe.DatasetPath(dnsserver.MaskDomain, m)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := core.SaveCanonicalFile(path, data[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRetentionCompactionKillResume: retention keeps the diff directory
+// bounded, the squash diff equals the direct months[0]→months[frontier]
+// transition, and a kill at any stage of compaction (after squash
+// write, before deletions; with a corrupt squash; with the whole diffs
+// tree lost) converges back to the same durable bytes.
+func TestRetentionCompactionKillResume(t *testing.T) {
+	const keep = 3
+	gen := 11 // 12 months → generations 1..11
+
+	// Reference: straight-through run.
+	refDir := t.TempDir()
+	refCfg, data := retentionConfig(t, refDir, keep)
+	ref, err := NewPipeline(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSynthDatasets(t, ref, data)
+	if err := ref.EnsureDiffs(gen); err != nil {
+		t.Fatal(err)
+	}
+	want := durableTree(t, refDir)
+
+	// Shape: squash covering gen-keep, only the newest keep generations
+	// as individual files.
+	target := gen - keep
+	sq, err := LoadSquashFile(refDir, dnsserver.MaskDomain)
+	if err != nil {
+		t.Fatalf("squash missing after retention run: %v", err)
+	}
+	if sq.Covers != target || sq.Gen != target {
+		t.Fatalf("squash covers %d (gen %d), want %d", sq.Covers, sq.Gen, target)
+	}
+	for g := 1; g <= gen; g++ {
+		_, err := os.Stat(diffPath(refDir, dnsserver.MaskDomain, g))
+		if g <= target && err == nil {
+			t.Fatalf("retired gen %d still on disk", g)
+		}
+		if g > target && err != nil {
+			t.Fatalf("kept gen %d missing: %v", g, err)
+		}
+	}
+	// The squash is the direct first→frontier transition.
+	ca, err := ref.LoadColumns(dnsserver.MaskDomain, ref.Months()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := ref.LoadColumns(dnsserver.MaskDomain, ref.Months()[target])
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := ComputeDiffColumns(target, ref.Months()[0], ref.Months()[target], ca, cb)
+	direct.Covers = target
+	var directBuf, sqBuf bytes.Buffer
+	if err := direct.Write(&directBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sq.Write(&sqBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(directBuf.Bytes(), sqBuf.Bytes()) {
+		t.Fatal("squash diff differs from the direct first→frontier transition")
+	}
+
+	compareAfter := func(stage, dir string, pipe *Pipeline) {
+		t.Helper()
+		if err := pipe.EnsureDiffs(gen); err != nil {
+			t.Fatalf("%s: EnsureDiffs: %v", stage, err)
+		}
+		got := durableTree(t, dir)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d durable files, want %d", stage, len(got), len(want))
+		}
+		for rel, b := range want {
+			if !bytes.Equal(got[rel], b) {
+				t.Fatalf("%s: %s differs from reference", stage, rel)
+			}
+		}
+	}
+
+	// Kill scenario 1: crash after the squash write, before deletions —
+	// redundant covered files remain and must be swept on resume.
+	dir1 := t.TempDir()
+	cfg1, _ := retentionConfig(t, dir1, keep)
+	p1, err := NewPipeline(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSynthDatasets(t, p1, data)
+	// First materialize every generation without retention...
+	cfg1NoKeep := cfg1
+	cfg1NoKeep.KeepDiffGenerations = 0
+	p1nk, err := NewPipeline(cfg1NoKeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1nk.EnsureDiffs(gen); err != nil {
+		t.Fatal(err)
+	}
+	// ...then plant the squash as if the crash hit mid-compaction.
+	planted := *direct
+	if err := WriteSquashFile(dir1, &planted); err != nil {
+		t.Fatal(err)
+	}
+	compareAfter("post-squash kill", dir1, p1)
+
+	// Kill scenario 2: the squash itself was torn mid-write.
+	dir2 := t.TempDir()
+	cfg2, _ := retentionConfig(t, dir2, keep)
+	p2, err := NewPipeline(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSynthDatasets(t, p2, data)
+	if err := p2.EnsureDiffs(gen); err != nil {
+		t.Fatal(err)
+	}
+	sqPath := squashPath(dir2, dnsserver.MaskDomain)
+	raw, err := os.ReadFile(sqPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sqPath, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.EnsureDiffs(gen); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(sqPath + ".corrupt"); err != nil {
+		t.Fatalf("torn squash not quarantined: %v", err)
+	}
+	if err := os.Remove(sqPath + ".corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	compareAfter("torn squash", dir2, p2)
+
+	// Kill scenario 3: the whole diffs tree is lost; everything is
+	// rebuilt from the retained datasets.
+	dir3 := t.TempDir()
+	cfg3, _ := retentionConfig(t, dir3, keep)
+	p3, err := NewPipeline(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSynthDatasets(t, p3, data)
+	if err := p3.EnsureDiffs(gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(dir3, "diffs")); err != nil {
+		t.Fatal(err)
+	}
+	compareAfter("diffs tree lost", dir3, p3)
+}
+
+// TestDiffCoversRoundTrip pins the squash header extension: write →
+// read preserves Covers, plain diffs stay covers-free, and a malformed
+// covers line is rejected as corrupt.
+func TestDiffCoversRoundTrip(t *testing.T) {
+	d := &DatasetDiff{
+		Domain: dnsserver.MaskDomain, Gen: 4,
+		From: bgp.Month{Year: 2022, M: 1}, To: bgp.Month{Year: 2022, M: 5},
+		Covers:   4,
+		Appeared: []DiffEntry{{Addr: netip.MustParseAddr("192.0.2.1"), NewASN: 714}},
+	}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDiff(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Covers != 4 || got.Gen != 4 {
+		t.Fatalf("covers %d gen %d after round trip, want 4/4", got.Covers, got.Gen)
+	}
+	var again bytes.Buffer
+	if err := got.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), buf.Bytes()) {
+		t.Fatal("squash diff not byte-stable across write→read→write")
+	}
+
+	bad := bytes.Replace(buf.Bytes(), []byte("# covers 4"), []byte("# covers zero"), 1)
+	if _, err := ReadDiff(bytes.NewReader(bad)); err == nil {
+		t.Fatal("malformed covers line accepted")
+	}
+}

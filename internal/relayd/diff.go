@@ -13,6 +13,7 @@ import (
 
 	"github.com/relay-networks/privaterelay/internal/atomicio"
 	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/colstore"
 	"github.com/relay-networks/privaterelay/internal/core"
 )
 
@@ -40,6 +41,10 @@ type DatasetDiff struct {
 	Domain   string
 	Gen      int
 	From, To bgp.Month
+	// Covers, when non-zero, marks this as a squash diff: it represents
+	// the accumulated transition months[0] → months[Covers] and replaces
+	// the retired generation files 1..Covers (retention compaction).
+	Covers   int
 	Appeared []DiffEntry // in To, not in From
 	Vanished []DiffEntry // in From, not in To
 	MovedAS  []DiffEntry // in both, origin AS changed
@@ -70,6 +75,28 @@ func ComputeDiff(gen int, from, to bgp.Month, a, b *core.Dataset) *DatasetDiff {
 	return d
 }
 
+// ComputeDiffColumns builds the same DatasetDiff as ComputeDiff, from
+// sorted columns instead of maps: a single streaming two-pointer merge
+// per family, no hashing, no post-sort — the merge emits changes
+// already in canonical address order, so the per-kind slices come out
+// sorted. Its output is byte-identical to ComputeDiff over the
+// equivalent map datasets (the equivalence tests pin this).
+func ComputeDiffColumns(gen int, from, to bgp.Month, a, b *colstore.Dataset) *DatasetDiff {
+	d := &DatasetDiff{Domain: b.Domain, Gen: gen, From: from, To: to}
+	colstore.Diff(a, b, func(c colstore.Change) bool {
+		switch c.Kind {
+		case colstore.Appeared:
+			d.Appeared = append(d.Appeared, DiffEntry{Addr: c.Addr, NewASN: c.NewAS})
+		case colstore.Vanished:
+			d.Vanished = append(d.Vanished, DiffEntry{Addr: c.Addr, OldASN: c.OldAS})
+		case colstore.MovedAS:
+			d.MovedAS = append(d.MovedAS, DiffEntry{Addr: c.Addr, OldASN: c.OldAS, NewASN: c.NewAS})
+		}
+		return true
+	})
+	return d
+}
+
 // Write renders the diff in its canonical on-disk form:
 //
 //	# diff v1
@@ -82,12 +109,18 @@ func ComputeDiff(gen int, from, to bgp.Month, a, b *core.Dataset) *DatasetDiff {
 //	~ addr,oldasn,newasn
 //	# end 3
 //
+// Squash diffs (retention compaction) additionally carry `# covers N`
+// after `# to`, declaring they replace generation files 1..N.
+//
 // Rows sort within each section by address; the footer pins the row
 // count so truncated writes are detectable, same as checkpoints.
 func (d *DatasetDiff) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# diff v1\n# gen %06d\n# domain %s\n# from %s\n# to %s\n",
 		d.Gen, d.Domain, d.From, d.To)
+	if d.Covers > 0 {
+		fmt.Fprintf(bw, "# covers %d\n", d.Covers)
+	}
 	for _, e := range d.Appeared {
 		fmt.Fprintf(bw, "+ %s,%d\n", e.Addr, e.NewASN)
 	}
@@ -157,6 +190,12 @@ func ReadDiff(r io.Reader) (*DatasetDiff, error) {
 				return nil, bad("%v", err)
 			}
 			d.To = m
+		case strings.HasPrefix(text, "# covers "):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(text, "# covers ")))
+			if err != nil || n < 1 {
+				return nil, bad("bad covers: %q", text)
+			}
+			d.Covers = n
 		case strings.HasPrefix(text, "# end "):
 			want, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(text, "# end ")))
 			if err != nil {
@@ -234,6 +273,50 @@ func domainSlug(domain string) string {
 // diffPath locates generation gen of domain's diff sequence under dir.
 func diffPath(dir, domain string, gen int) string {
 	return filepath.Join(dir, "diffs", domainSlug(domain), fmt.Sprintf("gen-%06d.diff", gen))
+}
+
+// squashPath locates domain's squash diff — the single accumulated
+// transition that replaces retired leading generations. There is at
+// most one per domain; compaction atomically overwrites it in place.
+func squashPath(dir, domain string) string {
+	return filepath.Join(dir, "diffs", domainSlug(domain), "squash.diff")
+}
+
+// WriteSquashFile persists a squash diff (Covers > 0) atomically.
+func WriteSquashFile(dir string, d *DatasetDiff) error {
+	if d.Covers < 1 {
+		return fmt.Errorf("relayd: squash diff must cover at least one generation")
+	}
+	path := squashPath(dir, d.Domain)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return atomicio.WriteFile(path, d.Write)
+}
+
+// LoadSquashFile reads domain's squash diff back. Missing squash
+// surfaces as os.ErrNotExist (retention never ran or nothing retired
+// yet); a corrupt one reports core.ErrCheckpointCorrupt with the path
+// attached, like LoadDiffFile.
+func LoadSquashFile(dir, domain string) (*DatasetDiff, error) {
+	path := squashPath(dir, domain)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := ReadDiff(f)
+	if err != nil {
+		if corrupt, ok := errAsCorrupt(err); ok {
+			corrupt.Path = path
+			return nil, corrupt
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Covers < 1 {
+		return nil, &core.CorruptError{Path: path, Reason: "squash diff missing `# covers` header"}
+	}
+	return d, nil
 }
 
 // WriteDiffFile persists the diff atomically and durably under dir.

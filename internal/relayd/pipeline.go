@@ -14,6 +14,7 @@ import (
 	"github.com/relay-networks/privaterelay/internal/atlas"
 	"github.com/relay-networks/privaterelay/internal/atomicio"
 	"github.com/relay-networks/privaterelay/internal/bgp"
+	"github.com/relay-networks/privaterelay/internal/colstore"
 	"github.com/relay-networks/privaterelay/internal/core"
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
 	"github.com/relay-networks/privaterelay/internal/dnswire"
@@ -63,6 +64,11 @@ type PipelineConfig struct {
 	// campaign; zero probes disables it.
 	AtlasProbes   int
 	AtlasClusters int
+	// KeepDiffGenerations bounds the diff directory: when > 0, only the
+	// newest K generation files are kept individually and everything
+	// older is compacted into one squash diff (months[0] → the retired
+	// frontier). 0 keeps every generation forever.
+	KeepDiffGenerations int
 }
 
 // Pipeline owns the world and runs campaigns against the state dir.
@@ -128,6 +134,22 @@ func (p *Pipeline) LoadDataset(domain string, month bgp.Month) (*core.Dataset, e
 	return core.ReadCanonical(f)
 }
 
+// LoadColumns loads the columnar form of domain's month dataset through
+// its binary sidecar (core.LoadColumns semantics: invalid sidecars are
+// quarantined or rebuilt from the golden text, never trusted), and
+// lands the cache outcome in the registry.
+func (p *Pipeline) LoadColumns(domain string, month bgp.Month) (*colstore.Dataset, error) {
+	cs, status, err := core.LoadColumns(p.DatasetPath(domain, month))
+	if err != nil {
+		return nil, err
+	}
+	if p.cfg.Registry != nil {
+		p.cfg.Registry.Counter("relayd_sidecar_loads_total",
+			"domain", domain, "status", status.String()).Add(1)
+	}
+	return cs, nil
+}
+
 // NextMonth returns the index of the first month whose campaign is
 // incomplete (some domain lacks a dataset), or (len, true) when the
 // whole plan is caught up. Deriving the cursor from durable outputs —
@@ -188,7 +210,11 @@ func (p *Pipeline) runScan(ctx context.Context, month bgp.Month, domain string) 
 	if err := os.MkdirAll(filepath.Dir(target), 0o755); err != nil {
 		return err
 	}
-	if err := atomicio.WriteFile(target, ds.WriteCanonical); err != nil {
+	// Text first, then the binary sidecar: a kill between the two leaves
+	// valid text with a missing sidecar, which the next LoadColumns
+	// rebuilds to the same bytes (the sidecar is a pure function of the
+	// text), so the durable tree still converges bit-identically.
+	if err := core.SaveCanonicalFile(target, ds); err != nil {
 		return err
 	}
 	// The dataset is durable; the checkpoint is now dead scratch. Any
@@ -263,11 +289,18 @@ func (p *Pipeline) recordScanStats(domain string, st core.ScanStats) {
 // EnsureDiffs materializes every generation up to and including gen
 // (gen N is months[N-1] → months[N] of the primary domain). Existing
 // valid generations are left untouched; corrupt ones are quarantined
-// with a *.corrupt rename and recomputed from the canonical datasets,
-// which reproduces the original bytes exactly.
+// with a *.corrupt rename and recomputed from the canonical datasets —
+// through the columnar sidecars and the streaming merge, which
+// reproduces the map-era bytes exactly. Generations already retired
+// into the squash diff are skipped, and retention compaction (if
+// configured) runs at the end of each pass.
 func (p *Pipeline) EnsureDiffs(gen int) error {
 	for _, domain := range p.cfg.Domains {
-		for g := 1; g <= gen; g++ {
+		floor, err := p.squashCovers(domain)
+		if err != nil {
+			return err
+		}
+		for g := floor + 1; g <= gen; g++ {
 			_, err := LoadDiffFile(p.cfg.StateDir, domain, g)
 			if err == nil {
 				continue
@@ -283,22 +316,116 @@ func (p *Pipeline) EnsureDiffs(gen int) error {
 			} else if !errors.Is(err, os.ErrNotExist) {
 				return err
 			}
-			from, to := p.cfg.Months[g-1], p.cfg.Months[g]
-			a, err := p.LoadDataset(domain, from)
+			d, err := p.computeDiffColumns(domain, g)
 			if err != nil {
 				return err
 			}
-			b, err := p.LoadDataset(domain, to)
-			if err != nil {
-				return err
-			}
-			d := ComputeDiff(g, from, to, a, b)
 			if err := WriteDiffFile(p.cfg.StateDir, d); err != nil {
 				return err
 			}
 			if p.cfg.Registry != nil {
 				p.cfg.Registry.Counter("relayd_diff_generations_total", "domain", domain).Add(1)
 			}
+		}
+		if err := p.CompactDiffs(domain, gen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeDiffColumns materializes generation g of domain's diff
+// sequence from the columnar datasets (sidecar-cached, streaming
+// two-pointer merge).
+func (p *Pipeline) computeDiffColumns(domain string, g int) (*DatasetDiff, error) {
+	from, to := p.cfg.Months[g-1], p.cfg.Months[g]
+	a, err := p.LoadColumns(domain, from)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.LoadColumns(domain, to)
+	if err != nil {
+		return nil, err
+	}
+	return ComputeDiffColumns(g, from, to, a, b), nil
+}
+
+// squashCovers reports how many leading generations domain's squash
+// diff has retired (0 when retention never compacted). A corrupt squash
+// is quarantined *.corrupt and treated as absent: every covered
+// generation is recomputable from the retained canonical datasets, so
+// the next compaction pass rebuilds the squash byte-identically.
+func (p *Pipeline) squashCovers(domain string) (int, error) {
+	sq, err := LoadSquashFile(p.cfg.StateDir, domain)
+	switch {
+	case err == nil:
+		return sq.Covers, nil
+	case errors.Is(err, os.ErrNotExist):
+		return 0, nil
+	case errors.Is(err, core.ErrCheckpointCorrupt):
+		path := squashPath(p.cfg.StateDir, domain)
+		if p.cfg.Registry != nil {
+			p.cfg.Registry.Counter("relayd_diff_corrupt_total", "domain", domain).Add(1)
+		}
+		if renameErr := os.Rename(path, path+".corrupt"); renameErr != nil {
+			return 0, fmt.Errorf("relayd: quarantining corrupt squash: %w", renameErr)
+		}
+		return 0, nil
+	default:
+		return 0, err
+	}
+}
+
+// CompactDiffs enforces the retention policy for domain at diff
+// frontier gen: with KeepDiffGenerations = K > 0, generations older
+// than gen-K are retired into the squash diff (one accumulated
+// months[0] → months[gen-K] transition, computed directly from the
+// canonical datasets) and their files deleted. The order is what makes
+// a kill at any instant safe: the squash is written atomically first,
+// and only then are covered files removed — a crash in between leaves
+// redundant generation files that the next pass deletes, never a gap.
+// Idempotent and convergent: re-running after any kill ends in the same
+// durable tree.
+func (p *Pipeline) CompactDiffs(domain string, gen int) error {
+	keep := p.cfg.KeepDiffGenerations
+	if keep <= 0 {
+		return nil
+	}
+	covers, err := p.squashCovers(domain)
+	if err != nil {
+		return err
+	}
+	if target := gen - keep; target > covers {
+		from, to := p.cfg.Months[0], p.cfg.Months[target]
+		a, err := p.LoadColumns(domain, from)
+		if err != nil {
+			return err
+		}
+		b, err := p.LoadColumns(domain, to)
+		if err != nil {
+			return err
+		}
+		d := ComputeDiffColumns(target, from, to, a, b)
+		d.Covers = target
+		if err := WriteSquashFile(p.cfg.StateDir, d); err != nil {
+			return err
+		}
+		covers = target
+		if p.cfg.Registry != nil {
+			p.cfg.Registry.Counter("relayd_diff_compactions_total", "domain", domain).Add(1)
+		}
+	}
+	for g := 1; g <= covers; g++ {
+		path := diffPath(p.cfg.StateDir, domain, g)
+		err := os.Remove(path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if p.cfg.Registry != nil {
+			p.cfg.Registry.Counter("relayd_diff_retired_total", "domain", domain).Add(1)
 		}
 	}
 	return nil
@@ -309,8 +436,8 @@ func (p *Pipeline) EnsureDiffs(gen int) error {
 // datasets, so rewriting it each cycle is idempotent.
 func (p *Pipeline) WriteReport() error {
 	var months []bgp.Month
-	def := map[bgp.Month]*core.Dataset{}
-	fb := map[bgp.Month]*core.Dataset{}
+	def := map[bgp.Month]*colstore.Dataset{}
+	fb := map[bgp.Month]*colstore.Dataset{}
 	for _, m := range p.cfg.Months {
 		complete := true
 		for _, d := range p.cfg.Domains {
@@ -322,13 +449,13 @@ func (p *Pipeline) WriteReport() error {
 		if !complete {
 			break
 		}
-		ds, err := p.LoadDataset(p.cfg.Domains[0], m)
+		cs, err := p.LoadColumns(p.cfg.Domains[0], m)
 		if err != nil {
 			return err
 		}
-		def[m] = ds
+		def[m] = cs
 		if len(p.cfg.Domains) > 1 {
-			if fb[m], err = p.LoadDataset(p.cfg.Domains[1], m); err != nil {
+			if fb[m], err = p.LoadColumns(p.cfg.Domains[1], m); err != nil {
 				return err
 			}
 		}
@@ -337,7 +464,7 @@ func (p *Pipeline) WriteReport() error {
 	if len(months) == 0 {
 		return nil
 	}
-	rows := analysis.Table1(months, def, fb)
+	rows := analysis.Table1Columns(months, def, fb)
 	path := filepath.Join(p.cfg.StateDir, "reports", "table1.txt")
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err

@@ -15,10 +15,12 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific analyzers (pool lifecycle, determinism, atomic-field
-# discipline, enum exhaustiveness). Dependency-free: relaylint is built
-# from this module with the same toolchain as the rest of the tree.
+# discipline, enum exhaustiveness, lock ordering, goroutine termination,
+# atomic durable writes) plus the hotalloc escape gate against
+# lint/hotalloc.manifest. Dependency-free: relaylint is built from this
+# module with the same toolchain as the rest of the tree.
 lint:
-	$(GO) run ./cmd/relaylint ./...
+	$(GO) run ./cmd/relaylint -hotalloc ./...
 
 build:
 	$(GO) build ./...

@@ -17,10 +17,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/netip"
 	"os"
 
+	"github.com/relay-networks/privaterelay/internal/atomicio"
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/core"
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
@@ -134,14 +136,9 @@ func main() {
 		}
 	}
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := ds.Save(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicio.WriteFile(*outPath, func(w io.Writer) error {
+			return ds.Save(w)
+		}); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dataset saved to %s\n", *outPath)

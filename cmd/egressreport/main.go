@@ -7,10 +7,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
 	"github.com/relay-networks/privaterelay/internal/analysis"
+	"github.com/relay-networks/privaterelay/internal/atomicio"
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/egress"
 	"github.com/relay-networks/privaterelay/internal/netsim"
@@ -43,14 +45,9 @@ func main() {
 	}
 
 	if *dumpCSV != "" {
-		f, err := os.Create(*dumpCSV)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := list.WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicio.WriteFile(*dumpCSV, func(w io.Writer) error {
+			return list.WriteCSV(w)
+		}); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote list to %s\n\n", *dumpCSV)

@@ -3,9 +3,16 @@
 // (default ./...).
 //
 //	go run ./cmd/relaylint ./...
+//	go run ./cmd/relaylint -hotalloc ./...
+//
+// -hotalloc additionally gates the compiler's escape analysis against
+// lint/hotalloc.manifest (see internal/lint/hotalloc.go). -json emits
+// the stable report schema (version, per-analyzer wall time, finding
+// and suppression counts, findings) consumed as a CI artifact.
 //
 // Exit status: 0 clean, 1 findings, 2 load/usage errors. Findings are
-// suppressed per line with `//lint:allow <analyzer> <justification>`.
+// suppressed per line with `//lint:allow <analyzer> <justification>`;
+// hotalloc is configured by its manifest instead.
 package main
 
 import (
@@ -14,15 +21,18 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/relay-networks/privaterelay/internal/lint"
 )
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as JSON")
-		only    = flag.String("only", "", "comma-separated analyzer names to run (default all)")
-		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut  = flag.Bool("json", false, "emit the stable report schema as JSON")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		hotalloc = flag.Bool("hotalloc", false, "also gate escape analysis against the hotalloc manifest")
+		manifest = flag.String("hotalloc-manifest", "lint/hotalloc.manifest", "manifest path for -hotalloc")
 	)
 	flag.Parse()
 
@@ -31,6 +41,8 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
+		fmt.Printf("%-12s %s\n", lint.HotallocName,
+			"gate compiler escape analysis against the committed zero-alloc manifest (needs -hotalloc; configured by "+*manifest+", not //lint:allow)")
 		return
 	}
 	if *only != "" {
@@ -45,6 +57,7 @@ func main() {
 				delete(keep, a.Name)
 			}
 		}
+		delete(keep, lint.HotallocName) // selected via -hotalloc, not -only
 		for n := range keep {
 			fmt.Fprintf(os.Stderr, "relaylint: unknown analyzer %q\n", n)
 			os.Exit(2)
@@ -61,25 +74,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "relaylint: %v\n", err)
 		os.Exit(2)
 	}
-	findings, err := lint.RunAnalyzers(pkgs, analyzers)
+	report, err := lint.RunSuite(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "relaylint: %v\n", err)
 		os.Exit(2)
 	}
+
+	if *hotalloc {
+		start := time.Now()
+		hfs, err := lint.RunHotalloc(".", *manifest)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relaylint: %v\n", err)
+			os.Exit(2)
+		}
+		report.Analyzers = append(report.Analyzers, lint.AnalyzerStat{
+			Name:     lint.HotallocName,
+			WallMS:   float64(time.Since(start)) / float64(time.Millisecond),
+			Findings: len(hfs),
+		})
+		report.Findings = append(report.Findings, hfs...)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(findings); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintf(os.Stderr, "relaylint: %v\n", err)
 			os.Exit(2)
 		}
 	} else {
-		for _, f := range findings {
+		for _, f := range report.Findings {
 			fmt.Println(f)
 		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "relaylint: %d finding(s)\n", len(findings))
+	if len(report.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "relaylint: %d finding(s)\n", len(report.Findings))
 		os.Exit(1)
 	}
 }

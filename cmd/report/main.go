@@ -6,12 +6,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 )
 
-import "github.com/relay-networks/privaterelay/internal/experiments"
+import (
+	"github.com/relay-networks/privaterelay/internal/atomicio"
+	"github.com/relay-networks/privaterelay/internal/experiments"
+)
 
 func main() {
 	var (
@@ -41,7 +45,10 @@ func main() {
 	report += fmt.Sprintf("\ngenerated in %v\n", time.Since(start).Truncate(time.Millisecond))
 	fmt.Print(report)
 	if *out != "" {
-		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+		if err := atomicio.WriteFile(*out, func(w io.Writer) error {
+			_, werr := io.WriteString(w, report)
+			return werr
+		}); err != nil {
 			log.Fatal(err)
 		}
 	}

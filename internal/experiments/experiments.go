@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
-	"os"
 	"path/filepath"
 	"slices"
 	"strings"
@@ -19,6 +18,7 @@ import (
 
 	"github.com/relay-networks/privaterelay/internal/analysis"
 	"github.com/relay-networks/privaterelay/internal/atlas"
+	"github.com/relay-networks/privaterelay/internal/atomicio"
 	"github.com/relay-networks/privaterelay/internal/bgp"
 	"github.com/relay-networks/privaterelay/internal/core"
 	"github.com/relay-networks/privaterelay/internal/dnsserver"
@@ -441,15 +441,7 @@ func (e *Env) ExportFigures(ctx context.Context, dir string, dayRounds int) ([]s
 	var written []string
 	save := func(name string, fn func(io.Writer) error) error {
 		path := filepath.Join(dir, name)
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := fn(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicio.WriteFile(path, fn); err != nil {
 			return err
 		}
 		written = append(written, path)

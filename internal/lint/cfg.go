@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go is the shared control-flow/dataflow engine under the suite's
+// path-sensitive analyzers (poolcheck, lockorder, goroleak). It began
+// life as the abstract interpreter buried in poolcheck; the engine owns
+// every control-flow construct — statement lists, if/else joins,
+// loops with break/continue edges, switch/select clause merges, labeled
+// statements, goto bail-out — while the analyzer supplies a state type
+// S and a small set of hooks describing how its facts move through
+// simple statements.
+//
+// The engine is deliberately approximate, tuned the same way the
+// original poolcheck walker was: merges are unions (hook-defined),
+// loops run their body exactly once with the back edge and every
+// break/continue edge folded by the analyzer's foldLoop hook, and goto
+// abandons the path. That bias makes every report a genuine "some
+// syntactic path does this" and keeps quiet code quiet.
+
+// flowCtx exposes the engine's enclosing-loop context to hooks, for
+// facts that depend on loop structure (a deferred release inside the
+// loop that acquired, a wg.Add that must pair inside one iteration).
+type flowCtx struct {
+	loopBodies []*ast.BlockStmt
+}
+
+// InLoop reports whether the current statement sits inside a loop body.
+func (fc *flowCtx) InLoop() bool { return len(fc.loopBodies) > 0 }
+
+// InnermostLoop returns the body of the innermost enclosing loop, or nil.
+func (fc *flowCtx) InnermostLoop() *ast.BlockStmt {
+	if len(fc.loopBodies) == 0 {
+		return nil
+	}
+	return fc.loopBodies[len(fc.loopBodies)-1]
+}
+
+// LoopContains reports whether the innermost enclosing loop body
+// lexically contains pos.
+func (fc *flowCtx) LoopContains(pos token.Pos) bool {
+	b := fc.InnermostLoop()
+	return b != nil && b.Pos() <= pos && pos < b.End()
+}
+
+// flowHooks parameterize a flowEngine over one analyzer's state S.
+// merge, transfer and onReturn are required; the rest default to
+// no-ops (observers) or to state-preserving folds.
+type flowHooks[S any] struct {
+	// merge joins the states of two control-flow paths.
+	merge func(a, b S) S
+	// transfer folds one simple statement (assign, expression, defer,
+	// go, decl, send, incdec, …) into the state.
+	transfer func(stmt ast.Stmt, st S, fc *flowCtx) S
+	// onReturn observes a return statement with the state reaching it
+	// and yields the (terminal) state — the hook is where analyzers
+	// report facts that must not be live at exit.
+	onReturn func(ret *ast.ReturnStmt, st S) S
+	// onGoto folds a goto, which abandons path tracking. Nil keeps the
+	// state unchanged.
+	onGoto func(st S) S
+	// observeExpr is called (state unchanged) on control-flow condition
+	// expressions the engine otherwise consumes: if/for conditions,
+	// range operands, switch tags.
+	observeExpr func(e ast.Expr, st S)
+	// observeSelect is called (state unchanged) on each select statement
+	// before its clauses are walked.
+	observeSelect func(sel *ast.SelectStmt, st S)
+	// foldLoop computes the post-loop state: entry is the state before
+	// the loop, exits the states at each break/continue edge, end the
+	// state at the bottom of the (once-walked) body, bodyTerm whether
+	// every path through the body terminated, infinite whether the loop
+	// has no condition (for{}). Nil uses mergeFoldLoop.
+	foldLoop func(body *ast.BlockStmt, entry S, exits []S, end S, bodyTerm, infinite bool) S
+}
+
+// mergeFoldLoop is the default loop fold: union of the entry state, the
+// back-edge state and every break/continue edge. Conservative for
+// union-style lattices (a fact that may hold on any edge holds after).
+func mergeFoldLoop[S any](merge func(a, b S) S) func(body *ast.BlockStmt, entry S, exits []S, end S, bodyTerm, infinite bool) S {
+	return func(_ *ast.BlockStmt, entry S, exits []S, end S, bodyTerm, _ bool) S {
+		out := entry
+		for _, s := range exits {
+			out = merge(out, s)
+		}
+		if !bodyTerm {
+			out = merge(out, end)
+		}
+		return out
+	}
+}
+
+// flowEngine walks one function (or function-literal) body.
+type flowEngine[S any] struct {
+	h     flowHooks[S]
+	loops []*flowLoop[S]
+	fc    flowCtx
+}
+
+type flowLoop[S any] struct {
+	exits []S // states at break/continue edges out of the loop body
+}
+
+func newFlowEngine[S any](h flowHooks[S]) *flowEngine[S] {
+	if h.foldLoop == nil {
+		h.foldLoop = mergeFoldLoop[S](h.merge)
+	}
+	return &flowEngine[S]{h: h}
+}
+
+// walkBody walks a whole function body and returns the fall-off state
+// plus whether every path terminated before the end.
+func (e *flowEngine[S]) walkBody(body *ast.BlockStmt, entry S) (S, bool) {
+	return e.walkStmts(body.List, entry)
+}
+
+// walkStmts walks a statement list; the bool result reports whether the
+// flow terminated (every path returned or branched away).
+func (e *flowEngine[S]) walkStmts(list []ast.Stmt, st S) (S, bool) {
+	for _, stmt := range list {
+		var term bool
+		st, term = e.walkStmt(stmt, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (e *flowEngine[S]) walkStmt(stmt ast.Stmt, st S) (S, bool) {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return e.h.onReturn(s, st), true
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = e.walkStmt(s.Init, st)
+		}
+		if e.h.observeExpr != nil {
+			e.h.observeExpr(s.Cond, st)
+		}
+		thenSt, thenTerm := e.walkStmts(s.Body.List, st)
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = e.walkStmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return e.h.merge(thenSt, elseSt), true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return e.h.merge(thenSt, elseSt), false
+		}
+
+	case *ast.BlockStmt:
+		return e.walkStmts(s.List, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = e.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil && e.h.observeExpr != nil {
+			e.h.observeExpr(s.Cond, st)
+		}
+		return e.walkLoopBody(s.Body, st, s.Cond == nil), false
+
+	case *ast.RangeStmt:
+		if e.h.observeExpr != nil {
+			e.h.observeExpr(s.X, st)
+		}
+		return e.walkLoopBody(s.Body, st, false), false
+
+	case *ast.SwitchStmt:
+		if s.Tag != nil && e.h.observeExpr != nil {
+			e.h.observeExpr(s.Tag, st)
+		}
+		return e.walkClauses(stmt, st)
+
+	case *ast.TypeSwitchStmt:
+		return e.walkClauses(stmt, st)
+
+	case *ast.SelectStmt:
+		if e.h.observeSelect != nil {
+			e.h.observeSelect(s, st)
+		}
+		return e.walkClauses(stmt, st)
+
+	case *ast.LabeledStmt:
+		return e.walkStmt(s.Stmt, st)
+
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			if e.h.onGoto != nil {
+				return e.h.onGoto(st), true
+			}
+			return st, true
+		}
+		if len(e.loops) > 0 {
+			ctx := e.loops[len(e.loops)-1]
+			ctx.exits = append(ctx.exits, st)
+		}
+		return st, true
+
+	default:
+		return e.h.transfer(stmt, st, &e.fc), false
+	}
+}
+
+// walkLoopBody walks a loop body once, collecting break/continue edges,
+// and hands the fold to the analyzer.
+func (e *flowEngine[S]) walkLoopBody(body *ast.BlockStmt, st S, infinite bool) S {
+	ctx := &flowLoop[S]{}
+	e.loops = append(e.loops, ctx)
+	e.fc.loopBodies = append(e.fc.loopBodies, body)
+	endSt, term := e.walkStmts(body.List, st)
+	e.loops = e.loops[:len(e.loops)-1]
+	e.fc.loopBodies = e.fc.loopBodies[:len(e.fc.loopBodies)-1]
+	return e.h.foldLoop(body, st, ctx.exits, endSt, term, infinite)
+}
+
+func (e *flowEngine[S]) walkClauses(stmt ast.Stmt, st S) (S, bool) {
+	var clauses [][]ast.Stmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			clauses = append(clauses, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			clauses = append(clauses, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			clauses = append(clauses, cc.Body)
+			hasDefault = hasDefault || cc.Comm == nil
+		}
+	}
+	if len(clauses) == 0 {
+		return st, false
+	}
+	var merged S
+	first := true
+	allTerm := true
+	for _, body := range clauses {
+		cst, cterm := e.walkStmts(body, st)
+		if cterm {
+			continue
+		}
+		allTerm = false
+		if first {
+			merged, first = cst, false
+		} else {
+			merged = e.h.merge(merged, cst)
+		}
+	}
+	if !hasDefault {
+		allTerm = false
+		if first {
+			merged, first = st, false
+		} else {
+			merged = e.h.merge(merged, st)
+		}
+	}
+	if allTerm {
+		return st, true
+	}
+	if first {
+		return st, true
+	}
+	return merged, false
+}

@@ -38,6 +38,14 @@ var deterministicPkgs = []string{
 // clock directly.
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
+// timerFuncs are the time package functions that schedule against the
+// wall clock; deterministic packages must route timers through the
+// injected vclock.Clock instead.
+var timerFuncs = map[string]bool{
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true, "Sleep": true,
+}
+
 // seededRandConstructors build a caller-seeded source and are allowed;
 // every other package-level math/rand call draws from the global
 // (non-reproducible) source.
@@ -67,6 +75,11 @@ func runDeterminism(pass *Pass) error {
 				if wallClockFuncs[fn.Name()] {
 					pass.Reportf(call.Pos(),
 						"time.%s in deterministic package %s: route through the injected faults.Clock",
+						fn.Name(), pass.Pkg.Name())
+				}
+				if timerFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"time.%s in deterministic package %s: route timers through the injected vclock.Clock",
 						fn.Name(), pass.Pkg.Name())
 				}
 			case "math/rand", "math/rand/v2":

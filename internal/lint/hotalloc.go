@@ -1,0 +1,315 @@
+package lint
+
+// The hotalloc gate keeps the zero-alloc guarantees of the serving and
+// decode hot paths honest at the compiler level. The repo's benchmarks
+// assert allocs/op today, but a benchmark only covers the inputs it
+// runs; the compiler's escape analysis covers every path through a
+// function. lint/hotalloc.manifest pins, per hot function, the number
+// of heap-escape sites the implementation is allowed to contain
+// (cold-path panics and lazy initialisation included, which is why the
+// budget is a count and not always zero). The gate rebuilds the listed
+// packages with -gcflags=-m, attributes every "escapes to heap" /
+// "moved to heap" diagnostic to its enclosing function, and fails when
+// a manifest function gains an escape site — catching the innocent
+// refactor that makes a frame buffer or message escape before it ships.
+//
+// Unlike the other analyzers this is not a per-package AST pass: the
+// evidence comes from the compiler, so it runs as a separate step
+// (cmd/relaylint -hotalloc) and is configured by the manifest rather
+// than by //lint:allow directives.
+
+import (
+	"bufio"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A HotallocEntry is one manifest line: a function qualified by its
+// package path relative to the module root, and the maximum number of
+// heap-escape sites it may contain.
+type HotallocEntry struct {
+	Pkg  string // e.g. "internal/masque"
+	Func string // e.g. "(*Plane).Relay", "AcquireFrame"
+	Max  int
+	Line int // manifest line, for positioning stale-entry findings
+}
+
+// ParseHotallocManifest reads the manifest format: one entry per line,
+//
+//	<pkg>.<func> <max-escapes>
+//	internal/masque.(*Plane).Relay 0
+//	internal/dnswire.(*Encoder).Encode 1
+//
+// Blank lines and lines starting with # are skipped; a # after the
+// budget starts a trailing comment.
+func ParseHotallocManifest(r io.Reader) ([]HotallocEntry, error) {
+	var entries []HotallocEntry
+	sc := bufio.NewScanner(r)
+	for lineno := 1; sc.Scan(); lineno++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("hotalloc manifest line %d: want \"<pkg>.<func> <max>\", got %q", lineno, sc.Text())
+		}
+		name, budget := fields[0], fields[1]
+		max, err := strconv.Atoi(budget)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("hotalloc manifest line %d: bad budget %q", lineno, budget)
+		}
+		// The package path ends at the first dot after the last slash:
+		// "internal/masque.(*Plane).Relay" → "internal/masque".
+		slash := strings.LastIndexByte(name, '/')
+		dot := strings.IndexByte(name[slash+1:], '.')
+		if dot < 0 {
+			return nil, fmt.Errorf("hotalloc manifest line %d: %q has no function part", lineno, name)
+		}
+		dot += slash + 1
+		entries = append(entries, HotallocEntry{
+			Pkg:  name[:dot],
+			Func: name[dot+1:],
+			Max:  max,
+			Line: lineno,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// escapeDiag is one compiler escape diagnostic, positioned in a file
+// relative to the module root (slash-separated).
+type escapeDiag struct {
+	file string
+	line int
+}
+
+// funcSpan is the line range of one top-level function declaration.
+// Escapes inside closures attribute to the enclosing declaration: the
+// closure is part of the function's allocation behaviour.
+type funcSpan struct {
+	start, end int
+	qual       string // "(*T).Name", "T.Name" or "Name"
+}
+
+// RunHotalloc checks the manifest at manifestPath against the escape
+// analysis of the packages it names, run from modRoot. It returns one
+// finding per manifest function that gained escape sites beyond its
+// budget, and one per manifest entry naming a function that no longer
+// exists (a stale manifest must not pass silently — it would gate
+// nothing).
+func RunHotalloc(modRoot, manifestPath string) ([]Finding, error) {
+	mf, err := os.Open(manifestPath)
+	if err != nil {
+		return nil, fmt.Errorf("hotalloc: %w", err)
+	}
+	entries, err := ParseHotallocManifest(mf)
+	mf.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+
+	pkgSet := map[string]bool{}
+	for _, e := range entries {
+		pkgSet[e.Pkg] = true
+	}
+	pkgs := make([]string, 0, len(pkgSet))
+	for p := range pkgSet {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	diags, err := compileEscapes(modRoot, pkgs)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	spans := map[string][]funcSpan{} // module-relative file → decls
+	declared := map[string]bool{}    // "pkg.qual" → exists
+	declPos := map[string]token.Position{}
+	for _, pkg := range pkgs {
+		if err := indexPackageFuncs(fset, modRoot, pkg, spans, declared, declPos); err != nil {
+			return nil, err
+		}
+	}
+
+	counts := countEscapes(diags, spans)
+
+	var findings []Finding
+	for _, e := range entries {
+		key := e.Pkg + "." + e.Func
+		if !declared[key] {
+			findings = append(findings, Finding{
+				Analyzer: HotallocName,
+				Pos:      token.Position{Filename: manifestPath, Line: e.Line, Column: 1},
+				Message:  fmt.Sprintf("manifest entry %s names a function that does not exist; the gate protects nothing — fix or remove the entry", key),
+			})
+			continue
+		}
+		if n := counts[key]; n > e.Max {
+			findings = append(findings, Finding{
+				Analyzer: HotallocName,
+				Pos:      declPos[key],
+				Message: fmt.Sprintf("hot function %s has %d heap escape site(s), budget %d: run `go build -gcflags=-m ./%s` to see them, keep the hot path allocation-free or raise the budget in %s with justification",
+					key, n, e.Max, e.Pkg, manifestPath),
+			})
+		}
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// compileEscapes builds pkgs with -gcflags=-m from modRoot and returns
+// the escape diagnostics. -gcflags applies to the named packages only,
+// so dependency noise never appears. The go build cache replays -m
+// diagnostics on cache hits, so a clean re-run stays fast.
+func compileEscapes(modRoot string, pkgs []string) ([]escapeDiag, error) {
+	args := []string{"build", "-gcflags=-m"}
+	for _, p := range pkgs {
+		args = append(args, "./"+p)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("hotalloc: go build -gcflags=-m failed: %v\n%s", err, out)
+	}
+	return parseEscapeOutput(string(out)), nil
+}
+
+// parseEscapeOutput extracts heap-escape diagnostics from -gcflags=-m
+// compiler output. Only "escapes to heap" and "moved to heap" lines are
+// allocation sites; "leaking param" lines describe flow into callers
+// and are charged where the caller allocates.
+func parseEscapeOutput(out string) []escapeDiag {
+	var diags []escapeDiag
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// file.go:line:col: message
+		rest, ok := strings.CutPrefix(line, "./")
+		if !ok {
+			rest = line
+		}
+		parts := strings.SplitN(rest, ":", 4)
+		if len(parts) < 4 || !strings.HasSuffix(parts[0], ".go") {
+			continue // <autogenerated> and malformed lines
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		diags = append(diags, escapeDiag{file: filepath.ToSlash(parts[0]), line: n})
+	}
+	return diags
+}
+
+// indexPackageFuncs parses pkg's non-test files (syntax only — no type
+// checking is needed to map a line to its enclosing declaration) and
+// records every top-level function's span and qualified name.
+func indexPackageFuncs(fset *token.FileSet, modRoot, pkg string, spans map[string][]funcSpan, declared map[string]bool, declPos map[string]token.Position) error {
+	dir := filepath.Join(modRoot, filepath.FromSlash(pkg))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("hotalloc: manifest package %s has no Go files under %s", pkg, dir)
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("hotalloc: %w", err)
+		}
+		key := path.Join(pkg, filepath.Base(name))
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			qual := funcQualName(fd)
+			spans[key] = append(spans[key], funcSpan{
+				start: fset.Position(fd.Pos()).Line,
+				end:   fset.Position(fd.Body.End()).Line,
+				qual:  pkg + "." + qual,
+			})
+			declared[pkg+"."+qual] = true
+			declPos[pkg+"."+qual] = fset.Position(fd.Pos())
+		}
+	}
+	return nil
+}
+
+// funcQualName renders a declaration's manifest name: "Name" for
+// functions, "T.Name" / "(*T).Name" for methods. Generic receivers
+// drop their type parameters, matching the instantiation-independent
+// manifest form.
+func funcQualName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	ptr := false
+	if st, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = st.X
+	}
+	base := recvBaseName(t)
+	if ptr {
+		return "(*" + base + ")." + fd.Name.Name
+	}
+	return base + "." + fd.Name.Name
+}
+
+func recvBaseName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return recvBaseName(t.X)
+	case *ast.IndexListExpr:
+		return recvBaseName(t.X)
+	}
+	return "?"
+}
+
+// countEscapes attributes each diagnostic to the function whose span
+// contains its line, counting per qualified name. Diagnostics outside
+// any declaration (package-level initialisers) are dropped: the
+// manifest gates functions.
+func countEscapes(diags []escapeDiag, spans map[string][]funcSpan) map[string]int {
+	counts := map[string]int{}
+	for _, d := range diags {
+		for _, s := range spans[d.file] {
+			if d.line >= s.start && d.line <= s.end {
+				counts[s.qual]++
+				break
+			}
+		}
+	}
+	return counts
+}

@@ -2,7 +2,15 @@
 // enforcing the invariants the test suite can only spot-check — pooled
 // message lifecycles (poolcheck), dataset determinism (determinism),
 // atomic-field access discipline (atomicfield), epoch-published map
-// immutability (epochcheck) and enum switch coverage (exhaustive).
+// immutability (epochcheck), enum switch coverage (exhaustive),
+// shard-lock ordering and leaf discipline (lockorder), goroutine
+// termination evidence (goroleak) and atomic durable writes
+// (durability). A ninth check, hotalloc, is not a per-package pass: it
+// gates the compiler's escape analysis against a committed manifest of
+// zero-alloc hot functions (see hotalloc.go and cmd/relaylint
+// -hotalloc).
+//
+// The path-sensitive analyzers share the control-flow engine in cfg.go.
 //
 // The suite is deliberately dependency-free: it mirrors the
 // golang.org/x/tools/go/analysis Analyzer/Pass shape on the standard
@@ -17,11 +25,13 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"strings"
+	"time"
 )
 
 // modulePath scopes project-specific rules (enum sets, deterministic
@@ -73,18 +83,95 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// MarshalJSON flattens the position into the stable schema the CI
+// artifact consumes: analyzer, file, line, column, message.
+func (f Finding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Message  string `json:"message"`
+	}{f.Analyzer, f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message})
+}
+
 // All returns the full relaylint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Poolcheck, Determinism, Atomicfield, Epochcheck, Exhaustive}
+	return []*Analyzer{Poolcheck, Determinism, Atomicfield, Epochcheck, Exhaustive, Lockorder, Goroleak, Durability}
+}
+
+// HotallocName is the name the escape gate reports under; it is valid
+// in -list output and directive validation even though the gate is not
+// a per-package Analyzer.
+const HotallocName = "hotalloc"
+
+// knownAnalyzerNames returns every name a //lint:allow directive may
+// legitimately cite.
+func knownAnalyzerNames() map[string]bool {
+	known := map[string]bool{"*": true, HotallocName: true}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// AnalyzerStat is the per-analyzer slice of a Report: stable names for
+// the -json schema consumed by the CI artifact.
+type AnalyzerStat struct {
+	Name         string  `json:"name"`
+	WallMS       float64 `json:"wall_ms"`
+	Findings     int     `json:"findings"`
+	Suppressions int     `json:"suppressions"`
+}
+
+// Report is the stable machine-readable result of one suite run.
+// Version bumps whenever a field changes meaning.
+type Report struct {
+	Version   int            `json:"version"`
+	Analyzers []AnalyzerStat `json:"analyzers"`
+	Findings  []Finding      `json:"findings"`
 }
 
 // RunAnalyzers applies each analyzer to each package and returns the
-// unsuppressed findings, sorted by position.
+// unsuppressed findings, sorted by position. It is the thin wrapper
+// over RunSuite kept for callers that only want findings.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var out []Finding
+	report, err := RunSuite(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return report.Findings, nil
+}
+
+// RunSuite applies each analyzer to each package, accumulating per-
+// analyzer wall time, finding and suppression counts. A //lint:allow
+// directive naming an unknown analyzer is itself a finding (reported
+// under the pseudo-analyzer "lint") — a typo there would otherwise
+// silently disable nothing while looking like it suppressed something.
+func RunSuite(pkgs []*Package, analyzers []*Analyzer) (*Report, error) {
+	report := &Report{Version: 1}
+	stats := map[string]*AnalyzerStat{}
+	for _, a := range analyzers {
+		st := &AnalyzerStat{Name: a.Name}
+		stats[a.Name] = st
+		report.Analyzers = append(report.Analyzers, AnalyzerStat{})
+	}
+	known := knownAnalyzerNames()
 	for _, pkg := range pkgs {
-		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		allow, directives := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, d := range directives {
+			for _, n := range d.names {
+				if !known[n] {
+					report.Findings = append(report.Findings, Finding{
+						Analyzer: "lint",
+						Pos:      pkg.Fset.Position(d.pos),
+						Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q: the directive suppresses nothing", n),
+					})
+				}
+			}
+		}
 		for _, a := range analyzers {
+			stat := stats[a.Name]
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -95,17 +182,25 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			pass.report = func(d Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
 				if allow.allows(a.Name, pos) {
+					stat.Suppressions++
 					return
 				}
-				out = append(out, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+				stat.Findings++
+				report.Findings = append(report.Findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
 			}
-			if err := a.Run(pass); err != nil {
+			start := time.Now()
+			err := a.Run(pass)
+			stat.WallMS += float64(time.Since(start)) / float64(time.Millisecond)
+			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
 	}
-	sortFindings(out)
-	return out, nil
+	for i, a := range analyzers {
+		report.Analyzers[i] = *stats[a.Name]
+	}
+	sortFindings(report.Findings)
+	return report, nil
 }
 
 func sortFindings(fs []Finding) {

@@ -15,16 +15,32 @@ import (
 // and matches findings against `// want "regex"` comments line by line.
 func runGolden(t *testing.T, a *Analyzer, dirname, asPath string) {
 	t.Helper()
+	runGoldenMulti(t, []*Analyzer{a}, dirname, asPath)
+}
+
+// runGoldenMulti is runGolden over several analyzers at once, for
+// testdata whose want set mixes analyzers (the suppress package).
+// Findings from the "lint" pseudo-analyzer (dead //lint:allow
+// directives) participate in want matching like any other.
+func runGoldenMulti(t *testing.T, as []*Analyzer, dirname, asPath string) {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", dirname)
 	pkg, err := LoadDir("../..", dir, asPath)
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
-	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	findings, err := RunAnalyzers([]*Package{pkg}, as)
 	if err != nil {
 		t.Fatal(err)
 	}
+	matchWants(t, pkg, findings)
+}
 
+// matchWants checks findings against the package's `// want "regex"`
+// comments line by line: every finding needs a want, every want a
+// finding.
+func matchWants(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
 	type expectation struct {
 		re  *regexp.Regexp
 		hit bool
@@ -88,6 +104,59 @@ func TestEpochcheckGolden(t *testing.T) {
 
 func TestExhaustiveGolden(t *testing.T) {
 	runGolden(t, Exhaustive, "exhaustive", modulePath+"/lintdata/exhaustive")
+}
+
+func TestLockorderGolden(t *testing.T) {
+	// The fabricated path ends in internal/masque, inside the guarded set.
+	runGolden(t, Lockorder, "lockorder", modulePath+"/lintdata/internal/masque")
+}
+
+func TestGoroleakGolden(t *testing.T) {
+	runGolden(t, Goroleak, "goroleak", modulePath+"/lintdata/internal/masque")
+}
+
+func TestDurabilityGolden(t *testing.T) {
+	// The fabricated path ends in internal/relayd, inside the durable-
+	// artifact set.
+	runGolden(t, Durability, "durability", modulePath+"/lintdata/internal/relayd")
+}
+
+// TestSuppressGolden runs the suppress testdata through the full suite
+// pipeline with two analyzers: the multi-analyzer directive must
+// silence both, the own-line form must cover a block statement, a
+// directive naming the wrong analyzer must silence nothing, and a
+// typo'd analyzer name must surface as a finding of its own.
+func TestSuppressGolden(t *testing.T) {
+	pkg, err := LoadDir("../..", filepath.Join("testdata", "src", "suppress"), modulePath+"/lintdata/internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := RunSuite([]*Package{pkg}, []*Analyzer{Poolcheck, Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lintFs, rest []Finding
+	for _, f := range report.Findings {
+		if f.Analyzer == "lint" {
+			lintFs = append(lintFs, f)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	matchWants(t, pkg, rest)
+	if len(lintFs) != 1 || !strings.Contains(lintFs[0].Message, `unknown analyzer "determinsm"`) {
+		t.Errorf("want exactly one dead-directive finding for the typo'd name, got %v", lintFs)
+	}
+	stats := map[string]AnalyzerStat{}
+	for _, st := range report.Analyzers {
+		stats[st.Name] = st
+	}
+	if got := stats["poolcheck"].Suppressions; got != 1 {
+		t.Errorf("poolcheck suppressions = %d, want 1 (the multi-analyzer line)", got)
+	}
+	if got := stats["determinism"].Suppressions; got != 2 {
+		t.Errorf("determinism suppressions = %d, want 2 (multi-analyzer line + own-line block)", got)
+	}
 }
 
 // TestSuppressionForms pins the two sanctioned //lint:allow placements

@@ -18,11 +18,15 @@ import (
 //     twice;
 //   - a pooled value is never stored into a struct field, global or
 //     container, which would let the pool recycle it behind a retained
-//     reference.
+//     reference;
+//   - a `go` closure capturing an acquired value takes over ownership
+//     and must itself release on every path, and a deferred release
+//     inside the loop that acquired does not run per iteration.
 //
 // The analysis is per-function with same-package interprocedural
-// release tracking; acquired values captured by closures are skipped
-// (conservatively unchecked) rather than misreported.
+// release tracking, built on the shared flow engine in cfg.go.
+// Acquired values captured by closures other than direct `go` bodies
+// are skipped (conservatively unchecked) rather than misreported.
 var Poolcheck = &Analyzer{
 	Name: "poolcheck",
 	Doc: "pool Acquire functions (dnswire.AcquireMessage, masque.AcquireFrame) " +
@@ -69,6 +73,27 @@ func poolAPIForRelease(fn *types.Func) *poolAPI {
 	for i := range poolAPIs {
 		api := &poolAPIs[i]
 		if fn.Name() == api.release && hasPathSuffix(fn.Pkg().Path(), api.pkgSuffix) {
+			return api
+		}
+	}
+	return nil
+}
+
+// poolType reports whether t is (a pointer to) one of the pooled types,
+// for goroleak's capture rule.
+func poolAPIForType(t types.Type) *poolAPI {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	for i := range poolAPIs {
+		api := &poolAPIs[i]
+		if hasPathSuffix(named.Obj().Pkg().Path(), api.pkgSuffix) &&
+			(named.Obj().Name() == "Message" || named.Obj().Name() == "Frame") {
 			return api
 		}
 	}
@@ -199,13 +224,16 @@ func checkPoolFunc(pass *Pass, fd *ast.FuncDecl, rel releaserSet) {
 		return true
 	})
 
-	// Track each `v := Acquire...()` through the function.
+	// Track each `v := Acquire...()` through the function. Captures by a
+	// closure that is the direct body of a `go` statement transfer
+	// ownership and are analyzed in the walker; any other closure
+	// capture is conservatively unchecked rather than misreported.
 	for _, site := range acquireSites(pass, fd) {
-		if capturedByClosure(pass, fd, site.obj) {
-			continue // conservatively unchecked rather than misreported
+		if capturedByOtherClosure(pass, fd, site.obj) {
+			continue
 		}
 		w := &poolWalker{pass: pass, rel: rel, v: site.obj, acquire: site.stmt, api: site.api, seen: map[token.Pos]bool{}}
-		st, _ := w.walkStmts(fd.Body.List, pstate{untracked: true})
+		st, _ := w.engine().walkBody(fd.Body, pstate{untracked: true})
 		if st.live && !st.deferRel {
 			w.leak = true
 		}
@@ -266,12 +294,29 @@ func acquireSites(pass *Pass, fd *ast.FuncDecl) []acquireSite {
 	return out
 }
 
-func capturedByClosure(pass *Pass, fd *ast.FuncDecl, v types.Object) bool {
+// capturedByOtherClosure reports whether v is captured by any closure
+// that is not the direct function of a `go` statement. Those captures
+// are beyond the per-function analysis (the closure may run any number
+// of times, later); go-statement bodies are handled precisely by the
+// walker's ownership transfer.
+func capturedByOtherClosure(pass *Pass, fd *ast.FuncDecl, v types.Object) bool {
+	goBodies := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				goBodies[fl] = true
+			}
+		}
+		return true
+	})
 	captured := false
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		fl, ok := n.(*ast.FuncLit)
 		if !ok || captured {
 			return !captured
+		}
+		if goBodies[fl] {
+			return true // descend: an inner, non-go closure still disqualifies
 		}
 		ast.Inspect(fl.Body, func(m ast.Node) bool {
 			if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == v {
@@ -304,12 +349,8 @@ func mergeState(a, b pstate) pstate {
 	}
 }
 
-type loopCtx struct {
-	exits []pstate // states at break/continue out of the loop body
-}
-
-// poolWalker is a small abstract interpreter over one function body for
-// one acquired variable. It is deliberately approximate: merges are
+// poolWalker carries the per-variable facts; the control flow itself is
+// the shared engine's. It is deliberately approximate: merges are
 // unions, loops run at most once, goto gives up — tuned so that every
 // report is a genuine "some path leaks/misuses" and quiet code stays
 // quiet.
@@ -319,142 +360,97 @@ type poolWalker struct {
 	v       types.Object
 	acquire *ast.AssignStmt
 	api     *poolAPI
-	loops   []*loopCtx
 	leak    bool
 	seen    map[token.Pos]bool
 }
 
-// walkStmts walks a statement list; the bool result reports whether the
-// flow terminated (every path returned or branched away).
-func (w *poolWalker) walkStmts(list []ast.Stmt, st pstate) (pstate, bool) {
-	for _, stmt := range list {
-		var term bool
-		st, term = w.walkStmt(stmt, st)
-		if term {
-			return st, true
-		}
-	}
-	return st, false
+func (w *poolWalker) engine() *flowEngine[pstate] {
+	return newFlowEngine(flowHooks[pstate]{
+		merge:    mergeState,
+		transfer: w.transfer,
+		onReturn: w.onReturn,
+		onGoto: func(st pstate) pstate {
+			st.escaped, st.live, st.untracked, st.released = true, false, false, false
+			return st
+		},
+		foldLoop: w.foldLoop,
+	})
 }
 
-func (w *poolWalker) walkStmt(stmt ast.Stmt, st pstate) (pstate, bool) {
+func (w *poolWalker) transfer(stmt ast.Stmt, st pstate, fc *flowCtx) pstate {
 	switch s := stmt.(type) {
 	case *ast.AssignStmt:
 		if s == w.acquire {
-			return pstate{live: true, deferRel: st.deferRel}, false
+			return pstate{live: true, deferRel: st.deferRel}
 		}
 		w.checkStore(s, st)
 		for _, lhs := range s.Lhs {
 			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && w.isV(id) {
 				// v rebound: the old value's fate was decided above.
-				return pstate{untracked: true, deferRel: st.deferRel}, false
+				return pstate{untracked: true, deferRel: st.deferRel}
 			}
 		}
-		return st, false
+		return st
 
 	case *ast.ExprStmt:
 		call, ok := ast.Unparen(s.X).(*ast.CallExpr)
 		if !ok {
-			return st, false
+			return st
 		}
-		return w.applyCall(call, st), false
+		return w.applyCall(call, st)
 
 	case *ast.DeferStmt:
 		if i := releasingArgIndex(w.pass, w.rel, s.Call); i >= 0 && i < len(s.Call.Args) {
 			if id, ok := ast.Unparen(s.Call.Args[i]).(*ast.Ident); ok && w.isV(id) {
+				if fc.InLoop() && !w.seen[s.Pos()] {
+					// A defer never runs per iteration: with the acquire in
+					// the same loop the value stays live until return; with
+					// the acquire outside, each iteration stacks another
+					// release of the same value.
+					w.seen[s.Pos()] = true
+					w.pass.Reportf(s.Pos(),
+						"deferred release of %s %s inside a loop runs at function exit, not per iteration; release it at the end of the iteration instead",
+						w.api.noun, w.v.Name())
+				}
 				st.deferRel = true
 			}
 		}
-		return st, false
-
-	case *ast.ReturnStmt:
-		for _, res := range s.Results {
-			if w.exprMentionsV(res) {
-				st.escaped, st.live, st.untracked = true, false, false
-				return st, true
-			}
-		}
-		if st.live && !st.deferRel {
-			w.leak = true
-		}
-		return st, true
-
-	case *ast.IfStmt:
-		if s.Init != nil {
-			st, _ = w.walkStmt(s.Init, st)
-		}
-		thenSt, thenTerm := w.walkStmts(s.Body.List, st)
-		elseSt, elseTerm := st, false
-		if s.Else != nil {
-			elseSt, elseTerm = w.walkStmt(s.Else, st)
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return mergeState(thenSt, elseSt), true
-		case thenTerm:
-			return elseSt, false
-		case elseTerm:
-			return thenSt, false
-		default:
-			return mergeState(thenSt, elseSt), false
-		}
-
-	case *ast.BlockStmt:
-		return w.walkStmts(s.List, st)
-
-	case *ast.ForStmt:
-		if s.Init != nil {
-			st, _ = w.walkStmt(s.Init, st)
-		}
-		return w.walkLoopBody(s.Body, st, s.Cond == nil), false
-
-	case *ast.RangeStmt:
-		return w.walkLoopBody(s.Body, st, false), false
-
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return w.walkClauses(stmt, st)
-
-	case *ast.LabeledStmt:
-		return w.walkStmt(s.Stmt, st)
-
-	case *ast.BranchStmt:
-		if s.Tok == token.GOTO {
-			st.escaped, st.live, st.untracked, st.released = true, false, false, false
-			return st, true
-		}
-		if len(w.loops) > 0 {
-			ctx := w.loops[len(w.loops)-1]
-			ctx.exits = append(ctx.exits, st)
-		}
-		return st, true
+		return st
 
 	case *ast.GoStmt:
-		return st, false // closure capture is pre-filtered
+		return w.applyGo(s, st)
 
 	default:
-		return st, false
+		return st
 	}
 }
 
-// walkLoopBody walks a loop body once, merging break/continue exits and
-// the back edge. A message acquired inside the body must be dead by the
-// end of each iteration; infinite loops (for{}) have no zero-iteration
-// path.
-func (w *poolWalker) walkLoopBody(body *ast.BlockStmt, st pstate, infinite bool) pstate {
-	ctx := &loopCtx{}
-	w.loops = append(w.loops, ctx)
-	endSt, term := w.walkStmts(body.List, st)
-	w.loops = w.loops[:len(w.loops)-1]
+func (w *poolWalker) onReturn(s *ast.ReturnStmt, st pstate) pstate {
+	for _, res := range s.Results {
+		if w.exprMentionsV(res) {
+			st.escaped, st.live, st.untracked = true, false, false
+			return st
+		}
+	}
+	if st.live && !st.deferRel {
+		w.leak = true
+	}
+	return st
+}
 
+// foldLoop merges break/continue exits and the back edge. A message
+// acquired inside the body must be dead by the end of each iteration;
+// infinite loops (for{}) have no zero-iteration path.
+func (w *poolWalker) foldLoop(body *ast.BlockStmt, st pstate, exits []pstate, endSt pstate, term, infinite bool) pstate {
 	acquiredInside := w.acquire != nil && body.Pos() <= w.acquire.Pos() && w.acquire.Pos() < body.End()
 	out := st
 	if infinite {
 		out = pstate{deferRel: st.deferRel} // only breaks leave a for{}
-		if len(ctx.exits) == 0 && !term {
+		if len(exits) == 0 && !term {
 			out = endSt // degenerate: falls out via panics only; keep something sane
 		}
 	}
-	states := ctx.exits
+	states := exits
 	if !term {
 		states = append(states, endSt)
 	}
@@ -476,64 +472,6 @@ func (w *poolWalker) walkLoopBody(body *ast.BlockStmt, st pstate, infinite bool)
 	return out
 }
 
-func (w *poolWalker) walkClauses(stmt ast.Stmt, st pstate) (pstate, bool) {
-	var clauses [][]ast.Stmt
-	hasDefault := false
-	switch s := stmt.(type) {
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CaseClause)
-			clauses = append(clauses, cc.Body)
-			hasDefault = hasDefault || cc.List == nil
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CaseClause)
-			clauses = append(clauses, cc.Body)
-			hasDefault = hasDefault || cc.List == nil
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			cc := c.(*ast.CommClause)
-			clauses = append(clauses, cc.Body)
-			hasDefault = hasDefault || cc.Comm == nil
-		}
-	}
-	if len(clauses) == 0 {
-		return st, false
-	}
-	merged := pstate{}
-	first := true
-	allTerm := true
-	for _, body := range clauses {
-		cst, cterm := w.walkStmts(body, st)
-		if cterm {
-			continue
-		}
-		allTerm = false
-		if first {
-			merged, first = cst, false
-		} else {
-			merged = mergeState(merged, cst)
-		}
-	}
-	if !hasDefault {
-		allTerm = false
-		if first {
-			merged, first = st, false
-		} else {
-			merged = mergeState(merged, st)
-		}
-	}
-	if allTerm {
-		return st, true
-	}
-	if first {
-		return st, true
-	}
-	return merged, false
-}
-
 // applyCall folds one call statement into the state: release, transfer
 // to a releasing callee, or no effect.
 func (w *poolWalker) applyCall(call *ast.CallExpr, st pstate) pstate {
@@ -546,6 +484,68 @@ func (w *poolWalker) applyCall(call *ast.CallExpr, st pstate) pstate {
 		}
 	}
 	return st
+}
+
+// applyGo folds a go statement: `go Release(v)` (or a releasing callee)
+// hands the value to the goroutine, and a `go func(){...}` body that
+// captures v — or receives it as an argument — takes over ownership and
+// is itself walked for release-on-every-path.
+func (w *poolWalker) applyGo(s *ast.GoStmt, st pstate) pstate {
+	call := s.Call
+	if i := releasingArgIndex(w.pass, w.rel, call); i >= 0 && i < len(call.Args) {
+		if id, ok := ast.Unparen(call.Args[i]).(*ast.Ident); ok && w.isV(id) {
+			return pstate{escaped: true, deferRel: st.deferRel}
+		}
+	}
+	fl, ok := call.Fun.(*ast.FuncLit)
+	if !ok || !st.live {
+		return st
+	}
+	// Identify what the goroutine sees: v captured free, or v passed as
+	// an argument bound to a parameter.
+	tracked := types.Object(nil)
+	if w.exprMentionsV(fl) {
+		tracked = w.v
+	}
+	params := funcLitParams(w.pass, fl)
+	for i, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && w.isV(id) && i < len(params) && params[i] != nil {
+			tracked = params[i]
+		}
+	}
+	if tracked == nil {
+		return st
+	}
+	// Ownership moves to the goroutine: walk its body as a function with
+	// the value live on entry.
+	sub := &poolWalker{pass: w.pass, rel: w.rel, v: tracked, api: w.api, seen: w.seen}
+	end, term := sub.engine().walkBody(fl.Body, pstate{live: true})
+	if !term && end.live && !end.deferRel {
+		sub.leak = true
+	}
+	if sub.leak {
+		w.pass.Reportf(s.Pos(),
+			"%s %s is captured by this goroutine, which does not release it on every path (pair it with %s.%s or return-free the goroutine)",
+			w.api.noun, w.v.Name(), w.api.pkgName, w.api.release)
+	}
+	return pstate{escaped: true, deferRel: st.deferRel}
+}
+
+// funcLitParams returns the declared parameter objects of fl in order.
+func funcLitParams(pass *Pass, fl *ast.FuncLit) []types.Object {
+	var out []types.Object
+	if fl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fl.Type.Params.List {
+		for _, name := range field.Names {
+			out = append(out, pass.Info.Defs[name])
+		}
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+		}
+	}
+	return out
 }
 
 // checkStore reports rule 3: a live pooled message stored into a struct

@@ -14,16 +14,32 @@ type allowIndex map[string]map[int][]string
 
 const allowMarker = "lint:allow"
 
+// allowDirective is one parsed //lint:allow comment, kept alongside the
+// index so the suite can validate the analyzer names it cites.
+type allowDirective struct {
+	pos   token.Pos
+	names []string
+}
+
 // buildAllowIndex scans every comment in the files for
-// `//lint:allow <analyzers> [justification]`.
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+// `//lint:allow <analyzers> [justification]`, returning both the
+// line-indexed suppression table and the raw directives.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []allowDirective) {
 	idx := make(allowIndex)
+	var directives []allowDirective
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				names := parseAllow(c.Text)
 				if len(names) == 0 {
 					continue
+				}
+				// Only directive-form comments (marker first, names that
+				// look like analyzer names) are validated; prose that
+				// merely mentions the marker still indexes but is never
+				// a candidate for the unknown-analyzer finding.
+				if isDirectiveForm(c.Text, names) {
+					directives = append(directives, allowDirective{pos: c.Slash, names: names})
 				}
 				pos := fset.Position(c.Slash)
 				lines := idx[pos.Filename]
@@ -36,7 +52,7 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 			}
 		}
 	}
-	return idx
+	return idx, directives
 }
 
 // parseAllow extracts the analyzer list from one comment, or nil.
@@ -58,6 +74,26 @@ func parseAllow(text string) []string {
 		}
 	}
 	return names
+}
+
+// isDirectiveForm reports whether the comment is an actual allow
+// directive: `//lint:allow ...` at the start of the comment, citing
+// names made of name characters (letters, digits, or the * wildcard).
+func isDirectiveForm(text string, names []string) bool {
+	trimmed := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "//"))
+	if !strings.HasPrefix(trimmed, allowMarker) {
+		return false
+	}
+	for _, n := range names {
+		for _, ch := range n {
+			ok := ch == '*' || ch == '_' ||
+				(ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9')
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // allows reports whether analyzer name is suppressed at pos.

@@ -5,6 +5,7 @@
 package determdata
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -86,4 +87,41 @@ func suppressedTrailing() time.Time {
 func suppressedOwnLine() time.Time {
 	//lint:allow determinism — golden test for the own-line suppression form
 	return time.Now()
+}
+
+// timerAfter arms a wall-clock timer; the virtual clock cannot advance
+// past it, so timeouts become wall-time-dependent.
+func timerAfter() <-chan time.Time {
+	return time.After(time.Second) // want `time.After in deterministic package determdata: route timers through the injected vclock.Clock`
+}
+
+// timerNew constructs a wall-clock timer object.
+func timerNew() *time.Timer {
+	return time.NewTimer(time.Second) // want `time.NewTimer in deterministic package`
+}
+
+// timerTick leaks a wall-clock ticker channel.
+func timerTick() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick in deterministic package`
+}
+
+// napSleep blocks on the wall clock.
+func napSleep() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in deterministic package`
+}
+
+// shuffleGlobal permutes through the process-global source.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle in deterministic package`
+}
+
+// shuffleSeeded permutes with a caller-seeded source: sanctioned.
+func shuffleSeeded(xs []int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// timerViaClock waits through the injected clock: sanctioned.
+func timerViaClock(ctx context.Context, c vclock.Clock, d time.Duration) error {
+	return c.Sleep(ctx, d)
 }

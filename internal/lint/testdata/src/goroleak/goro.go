@@ -1,0 +1,144 @@
+// Package goroleakdata runs under a fabricated import path ending in
+// internal/masque, putting it inside the goroleak analyzer's guarded
+// set. It seeds goroutines with and without termination evidence: wg
+// joins (balanced and unbalanced), shutdown-signal selects, bounded
+// loops, and pooled-object captures.
+package goroleakdata
+
+import (
+	"context"
+	"sync"
+
+	"github.com/relay-networks/privaterelay/internal/masque"
+)
+
+// joinedWorker pairs the Add with a deferred Done: sanctioned.
+func joinedWorker(work chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range work {
+			_ = v
+		}
+	}()
+	wg.Wait()
+}
+
+// unbalancedDone calls Done with no Add pending at the spawn point.
+func unbalancedDone() {
+	var wg sync.WaitGroup
+	go func() { // want `goroutine calls Done on a WaitGroup with no Add pending at this go statement \(unbalanced wg.Add count\)`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// conditionalAdd only Adds on one path to the spawn: the guaranteed
+// pending count at the go statement is zero.
+func conditionalAdd(extra bool) {
+	var wg sync.WaitGroup
+	if extra {
+		wg.Add(1)
+	}
+	go func() { // want `goroutine calls Done on a WaitGroup with no Add pending at this go statement \(unbalanced wg.Add count\)`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// spinner loops forever with no join and no shutdown signal.
+func spinner(work chan int) {
+	go func() { // want `goroutine has no provable termination path: its loop selects no ctx.Done\(\)/quit channel and no wg.Add/Done pair joins it`
+		for {
+			v := <-work
+			_ = v
+		}
+	}()
+}
+
+// quitLoop selects a quit-named channel in its loop: sanctioned.
+func quitLoop(work chan int, quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// ctxLoop selects ctx.Done() in its loop: sanctioned.
+func ctxLoop(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// boundedLoop carries its own exit condition: sanctioned.
+func boundedLoop(out chan<- int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			out <- i
+		}
+	}()
+}
+
+// rangeLoop ends when the channel closes: sanctioned.
+func rangeLoop(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// server joins a named method goroutine to its quit channel.
+type server struct {
+	quit chan struct{}
+	work chan int
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case v := <-s.work:
+			_ = v
+		}
+	}
+}
+
+// start spawns the named method; its declaration carries the shutdown
+// select, so the spawn is sanctioned.
+func (s *server) start() {
+	go s.loop()
+}
+
+// capturedFrameLeak hands a pooled frame it does not own to a
+// goroutine that never releases it.
+func capturedFrameLeak(f *masque.Frame, out chan<- []byte) {
+	go func() { // want `goroutine captures pooled frame f without releasing it \(pair with masque.ReleaseFrame inside the goroutine or transfer ownership explicitly\)`
+		out <- f.Payload
+	}()
+}
+
+// capturedFrameReleased releases the captured frame inside the
+// goroutine: ownership transferred, sanctioned.
+func capturedFrameReleased(f *masque.Frame, out chan<- uint32) {
+	go func() {
+		out <- f.StreamID
+		masque.ReleaseFrame(f)
+	}()
+}

@@ -1,0 +1,207 @@
+// Package lockorderdata runs under a fabricated import path ending in
+// internal/masque, putting it inside the lockorder analyzer's guarded
+// set. It seeds every violation class — blocking under a shard leaf,
+// nesting under a shard leaf, declared-order inversion, self-deadlock,
+// leak-on-path, blocking selects and callback-holds literals — next to
+// the sanctioned collect-then-act and defer forms.
+package lockorderdata
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// table mimics the sharded session table: mu is a declared leaf lock.
+type table struct {
+	mu sync.Mutex //lint:shardlock
+	m  map[int]int
+}
+
+// registry is an ordinary (non-shard) lock.
+type registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+// conn orders its two locks: mu is always taken before wmu.
+//
+//lint:lockorder conn.mu < conn.wmu
+type conn struct {
+	mu  sync.Mutex
+	wmu sync.Mutex
+}
+
+// blockUnderShard performs I/O inside the shard critical section.
+func blockUnderShard(t *table, w io.Writer, r io.Reader) {
+	t.mu.Lock()
+	io.Copy(w, r) // want `blocking call \(io.Copy\) while shard lock table.mu is held`
+	t.mu.Unlock()
+}
+
+// sleepUnderShard naps inside the shard critical section.
+func sleepUnderShard(t *table) {
+	t.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call \(time.Sleep\) while shard lock table.mu is held`
+	t.mu.Unlock()
+}
+
+// methodBlockUnderShard calls an external blocking method under the
+// shard lock.
+func methodBlockUnderShard(t *table, r io.ReadCloser) {
+	t.mu.Lock()
+	r.Close() // want `blocking call \(io Close method\) while shard lock table.mu is held`
+	t.mu.Unlock()
+}
+
+// nestUnderShard acquires another lock while the shard leaf is held.
+func nestUnderShard(t *table, reg *registry) {
+	t.mu.Lock()
+	reg.mu.Lock() // want `lock registry.mu acquired while shard lock table.mu is held \(shard locks are leaves\)`
+	reg.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// sendUnderShard blocks on a channel send inside the critical section.
+func sendUnderShard(t *table, ch chan int) {
+	t.mu.Lock()
+	ch <- 1 // want `channel send blocks while shard lock table.mu is held`
+	t.mu.Unlock()
+}
+
+// selectUnderShard blocks on a defaultless select inside the critical
+// section.
+func selectUnderShard(t *table, a, b chan int) {
+	t.mu.Lock()
+	select { // want `select with no default case blocks while shard lock table.mu is held`
+	case <-a:
+	case <-b:
+	}
+	t.mu.Unlock()
+}
+
+// selectDefaultUnderShard polls without blocking: sanctioned.
+func selectDefaultUnderShard(t *table, a chan int) {
+	t.mu.Lock()
+	select {
+	case <-a:
+	default:
+	}
+	t.mu.Unlock()
+}
+
+// takeBoth respects the declared conn.mu < conn.wmu order: sanctioned.
+func takeBoth(c *conn) {
+	c.mu.Lock()
+	c.wmu.Lock()
+	c.wmu.Unlock()
+	c.mu.Unlock()
+}
+
+// takeBothInverted acquires against the declared order.
+func takeBothInverted(c *conn) {
+	c.wmu.Lock()
+	c.mu.Lock() // want `lock conn.mu acquired while conn.wmu is held, violating declared order conn.mu < conn.wmu`
+	c.mu.Unlock()
+	c.wmu.Unlock()
+}
+
+// selfDeadlock re-acquires a lock it already holds. The single unlock
+// pairs with the inner acquire, so the outer one also leaks.
+func selfDeadlock(reg *registry) {
+	reg.mu.Lock() // want `lock registry.mu acquired here is not released on every path`
+	reg.mu.Lock() // want `lock registry.mu acquired while already held \(self-deadlock\)`
+	reg.mu.Unlock()
+}
+
+// leakOnPath forgets the unlock on the early-return path.
+func leakOnPath(reg *registry, bail bool) {
+	reg.mu.Lock() // want `lock registry.mu acquired here is not released on every path`
+	if bail {
+		return
+	}
+	reg.mu.Unlock()
+}
+
+// deferredUnlock covers every exit: sanctioned.
+func deferredUnlock(reg *registry, bail bool) int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if bail {
+		return 0
+	}
+	return reg.n
+}
+
+// lockHelper is a same-package callee that takes the registry lock; a
+// shard critical section calling it nests locks transitively.
+func lockHelper(reg *registry) {
+	reg.mu.Lock()
+	reg.n++
+	reg.mu.Unlock()
+}
+
+// nestViaCallee reaches the nested acquisition through a call.
+func nestViaCallee(t *table, reg *registry) {
+	t.mu.Lock()
+	lockHelper(reg) // want `call to lockHelper acquires a lock \(registry.mu\) while shard lock table.mu is held \(shard locks are leaves\)`
+	t.mu.Unlock()
+}
+
+// blockHelper is a same-package callee that blocks.
+func blockHelper(w io.Writer, r io.Reader) {
+	io.Copy(w, r)
+}
+
+// blockViaCallee reaches the blocking call through a call.
+func blockViaCallee(t *table, w io.Writer, r io.Reader) {
+	t.mu.Lock()
+	blockHelper(w, r) // want `call to blockHelper may block while shard lock table.mu is held`
+	t.mu.Unlock()
+}
+
+// rangeLocked mimics Sharded.Range: the literal argument runs under
+// the shard lock.
+//
+//lint:callback-holds table.mu
+func rangeLocked(t *table, f func(int, int) bool) {
+	t.mu.Lock()
+	for k, v := range t.m {
+		if !f(k, v) {
+			break
+		}
+	}
+	t.mu.Unlock()
+}
+
+// callbackBlocks passes a literal that blocks under the seeded lock —
+// the old closeAll shape before the collect-then-act rewrite.
+func callbackBlocks(t *table, conns map[int]io.Closer) {
+	rangeLocked(t, func(k, v int) bool {
+		conns[k].Close() // want `blocking call \(io Close method\) while shard lock table.mu is held`
+		return true
+	})
+}
+
+// callbackNests passes a literal that takes a lock under the seeded
+// shard lock.
+func callbackNests(t *table, reg *registry) {
+	rangeLocked(t, func(k, v int) bool {
+		reg.mu.Lock() // want `lock registry.mu acquired while shard lock table.mu is held \(shard locks are leaves\)`
+		reg.mu.Unlock()
+		return true
+	})
+}
+
+// callbackCollects only appends under the seeded lock and acts after
+// Range returns: the sanctioned collect-then-act form.
+func callbackCollects(t *table, conns map[int]io.Closer) {
+	var victims []io.Closer
+	rangeLocked(t, func(k, v int) bool {
+		victims = append(victims, conns[k])
+		return true
+	})
+	for _, c := range victims {
+		c.Close()
+	}
+}

@@ -1,0 +1,87 @@
+// Go-statement ownership transfer and defer-inside-loop: the poolcheck
+// blind spots closed in relaylint v2. A goroutine that receives a
+// pooled value owns it — it must release on every path of its body —
+// and a deferred release inside a loop runs once at function exit, not
+// per iteration.
+package poolcheckdata
+
+import (
+	"github.com/relay-networks/privaterelay/internal/masque"
+)
+
+// goClosureLeak hands the frame to a goroutine that skips the release
+// on its early-return path.
+func goClosureLeak(out chan<- uint32, fail bool) {
+	f := masque.AcquireFrame()
+	go func() { // want `frame f is captured by this goroutine, which does not release it on every path \(pair it with masque.ReleaseFrame or return-free the goroutine\)`
+		if fail {
+			return
+		}
+		out <- f.StreamID
+		masque.ReleaseFrame(f)
+	}()
+}
+
+// goClosureTransfer releases on every path inside the goroutine:
+// ownership transferred, sanctioned.
+func goClosureTransfer(out chan<- uint32) {
+	f := masque.AcquireFrame()
+	go func() {
+		out <- f.StreamID
+		masque.ReleaseFrame(f)
+	}()
+}
+
+// goClosureDeferredRelease transfers ownership with the defer form.
+func goClosureDeferredRelease(out chan<- uint32) {
+	f := masque.AcquireFrame()
+	go func() {
+		defer masque.ReleaseFrame(f)
+		out <- f.StreamID
+	}()
+}
+
+// goReleaserCall hands the frame straight to a releasing goroutine.
+func goReleaserCall() {
+	f := masque.AcquireFrame()
+	go masque.ReleaseFrame(f)
+}
+
+// goArgTransfer passes the frame as an argument; the parameter is
+// released on every path, so ownership transfers cleanly.
+func goArgTransfer(out chan<- uint32) {
+	f := masque.AcquireFrame()
+	go func(g *masque.Frame) {
+		out <- g.StreamID
+		masque.ReleaseFrame(g)
+	}(f)
+}
+
+// goArgLeak passes the frame as an argument to a goroutine that never
+// releases its parameter.
+func goArgLeak(out chan<- uint32) {
+	f := masque.AcquireFrame()
+	go func(g *masque.Frame) { // want `frame f is captured by this goroutine, which does not release it on every path`
+		out <- g.StreamID
+	}(f)
+}
+
+// deferInLoop stacks one deferred release per iteration; none runs
+// until the function returns.
+func deferInLoop(frames <-chan []byte) {
+	for p := range frames {
+		f := masque.AcquireFrame()
+		f.SetPayload(p)
+		defer masque.ReleaseFrame(f) // want `deferred release of frame f inside a loop runs at function exit, not per iteration; release it at the end of the iteration instead`
+	}
+}
+
+// releasePerIteration returns each frame at the end of its iteration:
+// the sanctioned loop form.
+func releasePerIteration(frames <-chan []byte) {
+	for p := range frames {
+		f := masque.AcquireFrame()
+		f.SetPayload(p)
+		masque.ReleaseFrame(f)
+	}
+}

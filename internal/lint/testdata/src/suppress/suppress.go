@@ -1,0 +1,51 @@
+// Package suppressdata exercises the //lint:allow edge cases through
+// the full suite pipeline: one directive naming two analyzers for one
+// line, the own-line form before a block statement, a directive naming
+// the wrong analyzer (which must not silence anything else), and a
+// typo'd analyzer name (which is itself a finding). It runs under a
+// fabricated path ending in internal/core so determinism applies.
+package suppressdata
+
+import (
+	"time"
+
+	"github.com/relay-networks/privaterelay/internal/masque"
+)
+
+// oneLineTwoAnalyzers seeds a poolcheck leak and a determinism
+// wall-clock read on the same line; the single trailing directive
+// names both analyzers and suppresses both findings.
+func oneLineTwoAnalyzers(fail bool) time.Time {
+	f := masque.AcquireFrame(); t := time.Now() //lint:allow poolcheck,determinism — suppress golden: one line, two analyzers, both covered
+	if fail {
+		return t
+	}
+	masque.ReleaseFrame(f)
+	return t
+}
+
+// ownLineBeforeBlock puts the directive on its own line before a block
+// statement: the range finding is reported at the `for` keyword, one
+// line below the comment, which the own-line form covers.
+func ownLineBeforeBlock(m map[string]int) []string {
+	var out []string
+	//lint:allow determinism — suppress golden: own-line form before a block statement
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// wrongAnalyzer names only poolcheck, so the determinism finding on
+// the covered line must still fire.
+func wrongAnalyzer() time.Time {
+	//lint:allow poolcheck — suppress golden: wrong analyzer, must not silence determinism
+	return time.Now() // want `time.Now in deterministic package`
+}
+
+// typoAnalyzer misspells the analyzer name: the directive suppresses
+// nothing and the suite reports the dead directive itself.
+func typoAnalyzer() int {
+	//lint:allow determinsm — suppress golden: typo'd analyzer name is a finding
+	return 1
+}

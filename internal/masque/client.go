@@ -35,7 +35,10 @@ type Client struct {
 
 	// wmu orders tunnel writes; enc turns each frame (or Write batch)
 	// into a single conn write, so concurrent streams can never
-	// interleave partial frames.
+	// interleave partial frames. When both are needed, mu is taken and
+	// released before wmu — never nested the other way.
+	//
+	//lint:lockorder Client.mu < Client.wmu
 	wmu sync.Mutex
 	enc FrameEncoder
 
@@ -107,7 +110,11 @@ func (c *Client) Dial() error {
 	c.wmu.Lock()
 	c.enc.Reset(conn)
 	c.wmu.Unlock()
-	go c.run(br, demux)
+	// The demux loop's lifetime is the tunnel's: run exits when ReadInto
+	// fails, which Close forces by closing the conn. Joining it to a
+	// WaitGroup would make Close block on the reader observing EOF for
+	// no caller-visible benefit.
+	go c.run(br, demux) //lint:allow goroleak — terminates when Close tears down the conn and ReadInto fails
 	return nil
 }
 
@@ -318,7 +325,7 @@ func (s *Stream) deliver(p []byte) {
 		s.mu.Unlock()
 		// Buffer full: apply backpressure to the demux loop without
 		// racing against a concurrent close of the channel.
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //lint:allow determinism — scheduling backpressure nap; no dataset-visible time derives from it
 	}
 }
 

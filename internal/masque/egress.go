@@ -225,8 +225,13 @@ func (eg *Egress) handleConnect(f *Frame, tw *tunnelWriter, sessions *tunnelSess
 		return
 	}
 
-	// Pump target → tunnel through a pooled copy buffer.
+	// Pump target → tunnel through a pooled copy buffer. The pump joins
+	// the egress WaitGroup so Serve drains it on shutdown; it exits when
+	// either leg dies (tunnel teardown closes the target via closeAll,
+	// failing the Read).
+	eg.wg.Add(1)
 	go func(id uint32, c net.Conn) {
+		defer eg.wg.Done()
 		bp := acquireCopyBuf()
 		defer releaseCopyBuf(bp)
 		buf := *bp

@@ -34,9 +34,11 @@ type Sharded[K comparable, V any] struct {
 }
 
 // tableShard pads each lock+map pair to its own cache line so
-// neighbouring shard locks never false-share.
+// neighbouring shard locks never false-share. The shard lock is a leaf:
+// nothing blocking and no other lock acquisition may happen under it
+// (enforced by the lockorder analyzer via the annotation below).
 type tableShard[K comparable, V any] struct {
-	mu sync.Mutex
+	mu sync.Mutex //lint:shardlock
 	m  map[K]V
 	_  [40]byte
 }
@@ -140,7 +142,11 @@ func (t *Sharded[K, V]) Len() int { return int(t.n.Load()) }
 // Range calls f for every entry until f returns false. Each shard is
 // visited under its own lock; iteration order is unspecified, so
 // callers must accumulate order-independently (the determinism lint's
-// map-range rule applies to them as usual).
+// map-range rule applies to them as usual). Because f runs under the
+// shard lock it must not block or take locks — collect under Range,
+// act after it returns.
+//
+//lint:callback-holds tableShard.mu
 func (t *Sharded[K, V]) Range(f func(K, V) bool) {
 	for i := range t.shards {
 		s := &t.shards[i]
@@ -208,17 +214,23 @@ func (ts *tunnelSessions) close(id uint32) {
 	}
 }
 
-// closeAll tears down every session (tunnel teardown).
+// closeAll tears down every session (tunnel teardown). Conn Close is
+// I/O, so sessions are collected under the shard locks and closed
+// outside them.
 func (ts *tunnelSessions) closeAll() {
+	var all []tunnelSession
 	ts.t.Range(func(id uint32, s tunnelSession) bool {
+		all = append(all, s)
+		return true
+	})
+	for _, s := range all {
 		if s.target != nil {
 			s.target.Close()
 		}
 		if s.assoc != nil {
 			s.assoc.conn.Close()
 		}
-		return true
-	})
+	}
 }
 
 // demuxEntry is one client-side stream handle: a TCP stream or a UDP
@@ -246,18 +258,23 @@ func (d *demuxTable) lookup(id uint32) demuxEntry {
 }
 func (d *demuxTable) drop(id uint32) { d.t.Delete(id) }
 
-// failAll fails every open stream and flow with err (tunnel teardown)
-// and empties the table.
+// failAll fails every open stream and flow with err (tunnel teardown).
+// Stream.fail takes the stream lock, which must not nest under the
+// shard lock, so entries are collected under Range and failed after.
 func (d *demuxTable) failAll(err error) {
+	var all []demuxEntry
 	d.t.Range(func(id uint32, e demuxEntry) bool {
+		all = append(all, e)
+		return true
+	})
+	for _, e := range all {
 		if e.s != nil {
 			e.s.fail(err)
 		}
 		if e.u != nil {
 			e.u.fail(err)
 		}
-		return true
-	})
+	}
 	// Rebuilding the table is unnecessary: entries fail idempotently and
 	// the owning client is already marked closed.
 }

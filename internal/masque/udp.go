@@ -76,8 +76,13 @@ func (eg *Egress) handleConnectUDP(f *Frame, tw *tunnelWriter, sessions *tunnelS
 	}
 
 	// Pump target → tunnel. The simulated source address rides in each
-	// datagram's preamble, mirroring the stream preamble convention.
+	// datagram's preamble, mirroring the stream preamble convention. The
+	// pump joins the egress WaitGroup so Serve drains it on shutdown; it
+	// exits when the association or tunnel dies (closeAll fails the
+	// read, at the latest when the 30 s read deadline expires).
+	eg.wg.Add(1)
 	go func(id uint32, pc net.PacketConn) {
+		defer eg.wg.Done()
 		buf := make([]byte, 64*1024) // one datagram can exceed the pooled 32 KiB copy buffers
 		for {
 			_ = pc.SetReadDeadline(time.Now().Add(30 * time.Second)) //lint:allow determinism — kernel socket deadlines need wall time, not the virtual clock
@@ -162,7 +167,7 @@ func (u *UDPFlow) Recv(timeout time.Duration) ([]byte, error) {
 			return nil, ErrTunnelClosed
 		}
 		return p, nil
-	case <-time.After(timeout):
+	case <-time.After(timeout): //lint:allow determinism — Recv's timeout is a caller-facing wall-time deadline, like the socket deadlines; no dataset-visible time derives from it
 		return nil, ErrTimeoutUDP
 	}
 }
